@@ -1,0 +1,26 @@
+"""Benchmark + regeneration of Figure 4/5 (join profiles, reduced trials)."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig4_join_profile, fig5_regimes
+from repro.experiments.common import make_testbed
+
+
+def test_fig4_join_profiles(benchmark):
+    def experiment():
+        setup = make_testbed(seed=2, scale=0.3)
+        return fig4_join_profile.run(setup=setup, trials_per_case=2,
+                                     count=260)
+
+    profiles = run_once(benchmark, experiment)
+    fig4_join_profile.report(profiles)
+    fig5_regimes.report(fig5_regimes.summarize(profiles))
+
+    # the paper's series: three regimes, UFL-UFL shortcut delayed ~10x
+    sc = {case: prof.summary()["median_shortcut_seq"]
+          for case, prof in profiles.items()}
+    assert sc["UFL-NWU"] < 70 and sc["NWU-NWU"] < 70
+    assert sc["UFL-UFL"] > 2 * max(sc["UFL-NWU"], sc["NWU-NWU"])
+    wan_final = profiles["UFL-NWU"].summary()["rtt_final_ms"]
+    assert 28.0 <= wan_final <= 52.0  # paper: 38 ms

@@ -1,0 +1,17 @@
+"""Benchmark + regeneration of Figure 6 (SCP across migration, reduced)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig6_scp_migration
+from repro.sim.units import MB
+
+
+def test_fig6_scp_migration(benchmark):
+    result = run_once(benchmark, fig6_scp_migration.run, seed=5, scale=0.3,
+                      file_size=MB(200.0), transfer_size=MB(150.0),
+                      migrate_at=60.0)
+    fig6_scp_migration.report(result)
+    assert result.completed  # "resumed without any application restarts"
+    # paper: 1.36 MB/s (UFL→NWU WAN) before, 1.83 MB/s (NWU LAN) after
+    assert abs(result.pre_rate_MBps - 1.36) < 0.35
+    assert abs(result.post_rate_MBps - 1.83) < 0.45
+    assert result.post_rate_MBps > result.pre_rate_MBps

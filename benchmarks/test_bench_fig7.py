@@ -1,0 +1,17 @@
+"""Benchmark + regeneration of Figure 7 (PBS jobs across migration)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig7_pbs_migration
+from repro.sim.units import MB
+
+
+def test_fig7_pbs_migration(benchmark):
+    result = run_once(benchmark, fig7_pbs_migration.run, seed=6, scale=0.3,
+                      jobs_before=12, jobs_after=10,
+                      transfer_size=MB(100.0))
+    fig7_pbs_migration.report(result)
+    assert result.completed_all  # the in-flight job completes (paper Fig. 7)
+    # the in-flight job absorbs the WAN migration latency…
+    assert result.during_wall > result.pre_mean + 0.5 * result.outage
+    # …and jobs run faster on the unloaded destination host afterwards
+    assert result.post_mean < result.pre_mean

@@ -1,0 +1,17 @@
+"""Benchmark + regeneration of the join-latency CDF claim (reduced trials).
+
+Paper (abstract): "in a set of 300 trials, 90% of the nodes self-configured
+P2P routes within 10 seconds, and more than 99% established direct
+connections to other nodes within 200 seconds."
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import join_latency_cdf
+
+
+def test_join_latency_cdf(benchmark):
+    result = run_once(benchmark, join_latency_cdf.run, seed=7, scale=0.3,
+                      trials=12, window=240.0)
+    join_latency_cdf.report(result)
+    assert result.route_frac_within(10.0) >= 0.75
+    assert result.direct_frac_within(200.0) >= 0.75

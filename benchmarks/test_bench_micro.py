@@ -1,0 +1,133 @@
+"""Microbenchmarks of the hot substrate operations.
+
+These are classic pytest-benchmark timings (many rounds) for the paths
+profiling showed dominate experiment wall time: the event loop, datagram
+delivery through NAT chains, greedy routing decisions, max-min flow rate
+computation, and the two real application kernels.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.fastdnaml import jc69_likelihood
+from repro.apps.meme import MemeMotifFinder
+from repro.apps.sequences import random_dna
+from repro.brunet.address import BrunetAddress, random_address, ring_distance
+from repro.brunet.connection import Connection, ConnectionType
+from repro.brunet.routing import next_hop
+from repro.brunet.table import ConnectionTable
+from repro.phys import Endpoint, Internet, NatSpec, Site
+from repro.phys.flows import Flow, FlowManager, Resource
+from repro.phys.nat import Nat
+from repro.sim import Simulator
+
+
+def test_event_loop_throughput(benchmark):
+    def run_10k_events():
+        sim = Simulator(seed=0, trace=False)
+        for i in range(10_000):
+            sim.schedule(i * 0.001, lambda: None)
+        sim.run()
+        return sim.events_processed
+
+    assert benchmark(run_10k_events) == 10_000
+
+
+def test_nat_translate_roundtrip(benchmark):
+    nat = Nat("n", "200.0.0.1", "10.1.", NatSpec.cone())
+    inner = Endpoint("10.1.0.2", 14001)
+    remote = Endpoint("128.0.0.5", 9000)
+
+    def xlate():
+        pub = nat.translate_outbound("udp", inner, remote)
+        return nat.translate_inbound("udp", pub.port, remote)
+
+    assert benchmark(xlate) == inner
+
+
+def test_datagram_delivery_through_nat(benchmark):
+    sim = Simulator(seed=1, trace=False)
+    net = Internet(sim)
+    priv = Site(net, "campus", subnet="10.9.", nat_spec=NatSpec.cone())
+    pub = Site(net, "pub")
+    a = priv.add_host("a")
+    b = pub.add_host("b")
+    got = []
+    b.bind_udp(5, lambda p, s, z: got.append(p))
+    sock = a.bind_udp(5, lambda *a_: None)
+
+    def send_and_run():
+        sock.send(Endpoint(b.ip, 5), "x", 10)
+        sim.run()
+
+    benchmark(send_and_run)
+    assert got
+
+
+def test_greedy_next_hop_decision(benchmark):
+    rng = np.random.default_rng(0)
+    me = random_address(rng)
+    table = ConnectionTable(me)
+    for i in range(12):
+        table.add(Connection(random_address(rng), Endpoint("1.1.1.1", i),
+                             ConnectionType.STRUCTURED_FAR, 0.0))
+    dest = random_address(rng)
+    conn = benchmark(next_hop, table, me, dest)
+    if conn is not None:
+        assert ring_distance(conn.peer_addr, dest) < ring_distance(me, dest)
+
+
+def test_flow_rate_recompute(benchmark):
+    sim = Simulator(seed=2, trace=False)
+    fm = FlowManager(sim)
+    resources = [Resource(f"r{i}", 1e6) for i in range(20)]
+    rng = np.random.default_rng(3)
+    for i in range(50):
+        path = [resources[j] for j in rng.choice(20, size=3, replace=False)]
+        Flow(fm, f"f{i}", 1e12, path)
+
+    benchmark(fm.recompute)
+    assert sum(f.rate for f in fm.flows) > 0
+
+
+def test_meme_em_iteration(benchmark):
+    rng = np.random.default_rng(4)
+    seqs = random_dna(rng, 30, 150)
+    finder = MemeMotifFinder(width=10, max_iter=3, seed=0)
+    result = benchmark(finder.fit, seqs)
+    assert np.isfinite(result.log_likelihood)
+
+
+def test_jc69_tree_likelihood(benchmark):
+    from repro.apps.fastdnaml import FastDnaMl
+    rng = np.random.default_rng(5)
+    aln = random_dna(rng, 10, 500)
+    ml = FastDnaMl(aln)
+    tree, _ = ml.search()
+    ll = benchmark(jc69_likelihood, tree, aln)
+    assert np.isfinite(ll)
+
+
+def test_overlay_node_join(benchmark):
+    """Cost of simulating one node joining a 15-node overlay."""
+    def join():
+        sim = Simulator(seed=6, trace=False)
+        net = Internet(sim)
+        site = Site(net, "pub")
+        from repro.brunet import BrunetConfig, BrunetNode
+        from repro.brunet.uri import Uri
+        boot = None
+        nodes = []
+        rng = sim.rng.stream("b")
+        for i in range(15):
+            h = site.add_host(f"h{i}")
+            n = BrunetNode(sim, h, random_address(rng), BrunetConfig())
+            n.start([boot] if boot else [])
+            if boot is None:
+                boot = Uri.udp(h.ip, n.port)
+            nodes.append(n)
+            sim.run(until=sim.now + 2)
+        sim.run(until=sim.now + 30)
+        return sum(1 for n in nodes if n.in_ring)
+
+    assert benchmark(join) == 15

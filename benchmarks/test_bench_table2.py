@@ -1,0 +1,17 @@
+"""Benchmark + regeneration of Table II (ttcp bandwidth, reduced sizes)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table2_bandwidth
+from repro.sim.units import MB
+
+
+def test_table2_bandwidth(benchmark):
+    rows = run_once(benchmark, table2_bandwidth.run, seed=3, scale=0.3,
+                    repetitions=2, sizes=(MB(8.0),))
+    table2_bandwidth.report(rows)
+    by = {(r.pair, r.shortcuts): r.mean_KBps for r in rows}
+    # paper: 1614/1250 KB/s with shortcuts vs 84/85 without
+    assert 1400 <= by[("UFL-UFL", True)] <= 1800
+    assert 1050 <= by[("UFL-NWU", True)] <= 1450
+    assert by[("UFL-UFL", True)] / by[("UFL-UFL", False)] > 8.0
+    assert by[("UFL-NWU", True)] / by[("UFL-NWU", False)] > 8.0

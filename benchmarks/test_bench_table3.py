@@ -1,0 +1,33 @@
+"""Benchmark + regeneration of Table III (fastDNAml-PVM, reduced taxa).
+
+Runs the full-ratio overlay (118 PlanetLab routers : 33 VMs — the
+no-shortcut penalty depends on routes crossing loaded PlanetLab nodes)
+with a reduced taxa count.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table3_fastdnaml
+
+
+def test_table3_fastdnaml(benchmark):
+    rows = run_once(benchmark, table3_fastdnaml.run, seed=4, scale=1.0,
+                    taxa=28)
+    table3_fastdnaml.report(rows)
+    by = {r.config: r for r in rows}
+    # node034 is half the speed of node002 (paper: 45191 s vs 22272 s)
+    ratio = by["sequential node034"].execution_time / \
+        by["sequential node002"].execution_time
+    assert 1.9 <= ratio <= 2.15
+    # paper ordering: 9.1x < 11.0x < 13.6x.  At reduced taxa the 15-node
+    # and 30-node-no-shortcut runs sit close together (smaller rounds →
+    # relatively heavier synchronisation for 30 workers), so allow a
+    # small tie margin; the 50-taxa run in results/table3_full.txt shows
+    # the clean ordering.
+    assert by["15 nodes, shortcuts"].speedup \
+        < by["30 nodes, no shortcuts"].speedup * 1.05
+    assert by["30 nodes, no shortcuts"].speedup \
+        < by["30 nodes, shortcuts"].speedup
+    # shortcuts buy a measurable fraction of the paper's 24% at this scale
+    gain = by["30 nodes, no shortcuts"].execution_time / \
+        by["30 nodes, shortcuts"].execution_time
+    assert gain >= 1.04

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""High-throughput batch computing on a WOW (the paper's §V-D1 use case).
+
+Builds the Figure 1 testbed (scaled-down PlanetLab bootstrap, all 33
+compute VMs), starts an unmodified PBS/NFS stack on it, and runs a stream
+of MEME motif-discovery jobs.  Also runs the *real* MEME EM algorithm once
+locally, so you can see what each simulated job stands for.
+
+Run:  python examples/batch_cluster.py [n_jobs]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.apps.meme import MemeMotifFinder, MemeWorkload
+from repro.apps.sequences import implant_motif, random_dna
+from repro.core import build_paper_testbed
+from repro.middleware import NfsServer, PbsMom, PbsServer
+from repro.sim import Simulator
+
+
+def run_real_meme_once() -> None:
+    print("— the application: MEME motif discovery (Bailey & Elkan EM) —")
+    rng = np.random.default_rng(0)
+    seqs = random_dna(rng, 25, 150)
+    implant_motif(rng, seqs, "TATAATGGCA", mutation_rate=0.08)
+    finder = MemeMotifFinder(width=10, max_iter=60, seed=1)
+    result = finder.fit(seqs)
+    print(f"  planted motif TATAATGGCA; EM recovered "
+          f"{finder.consensus(result.pwm)} in {result.iterations} iterations "
+          f"(logL {result.log_likelihood:.0f})\n")
+
+
+def main(n_jobs: int = 200) -> None:
+    run_real_meme_once()
+
+    print(f"— the cluster: 33 WOW VMs across 6 firewalled domains —")
+    sim = Simulator(seed=11, trace=False)
+    testbed = build_paper_testbed(sim, n_planetlab_routers=24,
+                                  n_planetlab_hosts=6)
+    testbed.run_warmup()
+    print(f"  overlay converged at t={sim.now:.0f}s; "
+          f"ring consistent: {testbed.deployment.ring_consistent()}")
+
+    head = testbed.head
+    nfs = NfsServer(head)
+    nfs.export("meme.in", testbed.deployment.calib.meme_input_size)
+    pbs = PbsServer(head)
+    for worker in testbed.workers():
+        PbsMom(worker, head.virtual_ip)
+        pbs.register_worker(worker.virtual_ip)
+
+    workload = MemeWorkload(testbed.deployment.calib,
+                            sim.rng.stream("example.meme"))
+    done = pbs.expect(n_jobs)
+    for i, spec in enumerate(workload.jobs(n_jobs)):
+        sim.schedule(i * 1.0, pbs.qsub, spec)  # 1 job/second, like §V-D1
+    sim.run(until=sim.now + n_jobs * 5.0 + 2000.0)
+
+    walls = np.array([r.wall_time for r in pbs.records
+                      if r.wall_time is not None])
+    print(f"  {pbs.completed}/{n_jobs} jobs completed")
+    print(f"  job wall-clock: {walls.mean():.1f}s ± {walls.std():.1f}s "
+          f"(paper: 24.1s ± 6.5s with shortcuts)")
+    print(f"  throughput: {pbs.throughput_jobs_per_minute():.0f} jobs/min "
+          f"(paper: 53 jobs/min)")
+    per_node: dict[str, int] = {}
+    for r in pbs.records:
+        if r.status == "done":
+            per_node[r.node_name] = per_node.get(r.node_name, 0) + 1
+    slowest = min(per_node, key=per_node.get)
+    fastest = max(per_node, key=per_node.get)
+    print(f"  heterogeneity: busiest worker {fastest} ran "
+          f"{per_node[fastest]} jobs; slowest {slowest} ran "
+          f"{per_node[slowest]} (paper §V-D1 observes the same skew)")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 200)

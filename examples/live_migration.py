@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Transparent WAN VM migration (the paper's §V-C experiments).
+
+An SCP download is in flight from a server VM at UFL when the server is
+live-migrated to NWU: suspend, ship the memory image and copy-on-write
+logs over the WAN, resume, kill-and-restart IPOP.  The transfer stalls
+during the outage and resumes by itself — no application restarts — and
+finishes *faster* because both endpoints now share the NWU LAN.
+
+Run:  python examples/live_migration.py
+"""
+
+from repro.core import build_paper_testbed
+from repro.middleware.ssh import ScpClient, ScpServer
+from repro.sim import Simulator
+from repro.sim.process import Process
+from repro.sim.units import MB
+
+
+def main() -> None:
+    sim = Simulator(seed=5, trace=False)
+    testbed = build_paper_testbed(sim, n_planetlab_routers=24,
+                                  n_planetlab_hosts=6)
+    testbed.run_warmup()
+    dep = testbed.deployment
+
+    server_vm = testbed.vm(3)   # UFL
+    client_vm = testbed.vm(17)  # NWU
+    print(f"SCP server: {server_vm.name} at {server_vm.host.site.name}; "
+          f"client: {client_vm.name} at {client_vm.host.site.name}")
+
+    scp = ScpServer(server_vm)
+    scp.put_file("dataset.tar", MB(200.0))
+    client = ScpClient(client_vm, server_vm.virtual_ip)
+    t0 = sim.now
+    download = Process(sim, client.download("dataset.tar"))
+
+    def migrate() -> None:
+        print(f"t={sim.now - t0:5.0f}s  suspending {server_vm.name}, "
+              f"shipping image to NWU…")
+        done = server_vm.migrate(dep.sites["nwu"], transfer_size=MB(120.0))
+        done.wait_callback(lambda rec: print(
+            f"t={sim.now - t0:5.0f}s  resumed at {rec.dst_site}; IPOP "
+            f"restarted, rejoining the overlay (outage {rec.outage:.0f}s)"))
+
+    sim.schedule(60.0, migrate)
+
+    # progress reporter
+    def report() -> None:
+        if client.transfer is not None and not download.done.fired:
+            eff = dep.calib.scp_efficiency
+            size = client.transfer.current_transferred() * eff
+            state = "stalled" if client.transfer.flow.paused else \
+                f"{client.transfer.flow.rate / 1e6:.2f} MB/s"
+            print(f"t={sim.now - t0:5.0f}s  client file: "
+                  f"{size / 1e6:6.1f} MB ({state})")
+        if not download.done.fired:
+            sim.schedule(30.0, report)
+    sim.schedule(30.0, report)
+
+    sim.run(until=t0 + 4000.0)
+    xfer = download.done.value
+    assert xfer is not None and xfer.completed, "transfer must survive"
+    pre = client.transfer.mean_rate(t0, t0 + 55.0) / 1e6
+    end = client.transfer.flow.finish_time
+    record = server_vm.migrations[-1]
+    post = client.transfer.mean_rate(record.resumed_at + 10.0, end) / 1e6
+    print(f"\ntransfer completed at t={end - t0:.0f}s with zero application "
+          f"restarts")
+    print(f"rate before migration (UFL→NWU WAN): {pre:.2f} MB/s")
+    print(f"rate after migration (NWU LAN):      {post:.2f} MB/s")
+    print("(paper Fig. 6: 1.36 MB/s → 1.83 MB/s across a 720 MB transfer)")
+
+
+if __name__ == "__main__":
+    main()

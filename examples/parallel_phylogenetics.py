@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Parallel fastDNAml over PVM on a WOW (the paper's §V-D2 use case).
+
+First runs the *real* miniature fastDNAml (Felsenstein-pruning ML stepwise
+addition) on a small synthetic alignment, then replays the paper's 50-taxa
+workload shape on simulated WOW clusters of different sizes and reports the
+parallel speedups — Table III's experiment.
+
+Run:  python examples/parallel_phylogenetics.py [taxa]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.apps.fastdnaml import FastDnaMl, FastDnamlWorkload
+from repro.apps.sequences import random_dna
+from repro.core import build_paper_testbed
+from repro.middleware.pvm import PvmMaster
+from repro.sim import Simulator
+from repro.sim.process import Process
+
+
+def run_real_search() -> None:
+    print("— the application: ML phylogenetics (JC69 + stepwise addition) —")
+    rng = np.random.default_rng(1)
+    alignment = random_dna(rng, 9, 300)
+    ml = FastDnaMl(alignment)
+    tree, loglik = ml.search()
+    print(f"  9 taxa, 300 sites: best tree logL {loglik:.1f}; "
+          f"{ml.trees_evaluated} candidate trees across "
+          f"{len(ml.round_sizes)} rounds {ml.round_sizes}")
+    print("  each round is the parallel unit fastDNAml-PVM distributes\n")
+
+
+def sequential(sim, vm, workload) -> float:
+    t0 = sim.now
+    state = {}
+
+    def proc():
+        for round_tasks in workload.rounds():
+            for task in round_tasks:
+                yield from vm.compute(task.work_ref)
+        state["t"] = sim.now - t0
+
+    p = Process(sim, proc())
+    p.done.wait_callback(lambda _v: sim.stop())
+    sim.run(until=t0 + 5e5)
+    return state["t"]
+
+
+def main(taxa: int = 20) -> None:
+    run_real_search()
+
+    print(f"— the cluster: Table III at {taxa} taxa —")
+    sim = Simulator(seed=3, trace=False)
+    testbed = build_paper_testbed(sim, n_planetlab_routers=24,
+                                  n_planetlab_hosts=6)
+    testbed.run_warmup()
+    calib = testbed.deployment.calib
+    calib.fastdnaml_taxa = taxa
+    workload = FastDnamlWorkload(calib, sim.rng.stream("example.dnaml"))
+
+    t_seq = sequential(sim, testbed.vm(2), workload)
+    print(f"  sequential on node002: {t_seq:.0f}s")
+    for n_workers in (8, 15, 30):
+        master = PvmMaster(testbed.head)
+        for vm in testbed.workers()[:n_workers]:
+            master.add_worker(vm)
+        done = master.run_rounds(workload.rounds())
+        done.wait_callback(lambda _v: sim.stop())
+        sim.run(until=sim.now + 5e5)
+        elapsed = done.value
+        print(f"  {n_workers:2d} workers: {elapsed:.0f}s "
+              f"→ speedup {t_seq / elapsed:.1f}x")
+    print("  (paper at 50 taxa: 15 nodes 9.1x, 30 nodes 13.6x — limited by "
+          "heterogeneous CPUs and per-round synchronisation)")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 20)

@@ -1,0 +1,26 @@
+"""The paper's two life-science benchmark applications.
+
+Each module provides (a) a *real, runnable* miniature of the algorithm —
+an EM motif finder for MEME [11], a Felsenstein-pruning maximum-likelihood
+stepwise-addition search for fastDNAml [41,48] — used by the examples and
+tested directly, and (b) the calibrated cost model the simulation uses to
+generate Fig. 8 / Table III workloads at the paper's scale.
+"""
+
+from repro.apps.sequences import random_dna, implant_motif
+from repro.apps.meme import MemeMotifFinder, MemeWorkload
+from repro.apps.fastdnaml import (
+    FastDnaMl,
+    FastDnamlWorkload,
+    jc69_likelihood,
+)
+
+__all__ = [
+    "random_dna",
+    "implant_motif",
+    "MemeMotifFinder",
+    "MemeWorkload",
+    "FastDnaMl",
+    "FastDnamlWorkload",
+    "jc69_likelihood",
+]

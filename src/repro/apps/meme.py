@@ -1,0 +1,133 @@
+"""MEME: motif discovery by expectation maximization (paper ref [11]).
+
+:class:`MemeMotifFinder` is a real, compact implementation of the OOPS
+("one occurrence per sequence") EM model from Bailey & Elkan 1994: the
+E-step computes a posterior over motif start positions in each sequence
+under the current position weight matrix (PWM); the M-step re-estimates
+the PWM from the posterior-weighted site counts.  It is vectorized with
+numpy and genuinely recovers implanted motifs (see tests/apps and
+examples/batch_cluster.py).
+
+:class:`MemeWorkload` is the cost model used at Fig. 8 scale: 4000 queued
+jobs with ~24 s mean sequential runtime on the reference CPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.middleware.pbs.job import JobSpec
+
+_PSEUDO = 0.25  # Dirichlet pseudocount for PWM estimation
+
+
+@dataclass
+class MemeResult:
+    pwm: np.ndarray  # (w, 4) position weight matrix
+    positions: np.ndarray  # MAP site start per sequence
+    log_likelihood: float
+    iterations: int
+
+
+class MemeMotifFinder:
+    """OOPS-model EM motif discovery over index-encoded DNA."""
+
+    def __init__(self, width: int, max_iter: int = 50, tol: float = 1e-4,
+                 seed: int = 0):
+        if width < 2:
+            raise ValueError("motif width must be >= 2")
+        self.width = width
+        self.max_iter = max_iter
+        self.tol = tol
+        self.rng = np.random.default_rng(seed)
+
+    # -- model pieces ---------------------------------------------------
+    def _init_pwm(self) -> np.ndarray:
+        pwm = self.rng.dirichlet(np.full(4, 2.0), size=self.width)
+        return pwm
+
+    @staticmethod
+    def _window_log_scores(seqs: np.ndarray, log_pwm: np.ndarray,
+                           log_bg: np.ndarray) -> np.ndarray:
+        """(n, L-w+1) log-odds of the motif starting at each position."""
+        n, length = seqs.shape
+        w = log_pwm.shape[0]
+        n_pos = length - w + 1
+        scores = np.zeros((n, n_pos))
+        for offset in range(w):
+            cols = seqs[:, offset:offset + n_pos]
+            scores += log_pwm[offset, cols] - log_bg[cols]
+        return scores
+
+    # -- EM ----------------------------------------------------------------
+    def fit(self, seqs: np.ndarray) -> MemeResult:
+        """Run EM to convergence; ``seqs`` is (n, L) int8 in 0..3."""
+        seqs = np.asarray(seqs, dtype=np.int8)
+        n, length = seqs.shape
+        w = self.width
+        if length < w:
+            raise ValueError("sequences shorter than motif width")
+        counts = np.bincount(seqs.ravel(), minlength=4).astype(float)
+        bg = (counts + _PSEUDO) / (counts.sum() + 4 * _PSEUDO)
+        log_bg = np.log(bg)
+        pwm = self._init_pwm()
+
+        prev_ll = -np.inf
+        posterior = None
+        for iteration in range(1, self.max_iter + 1):
+            log_pwm = np.log(pwm)
+            scores = self._window_log_scores(seqs, log_pwm, log_bg)
+            # E-step: posterior over start positions (uniform prior)
+            shift = scores.max(axis=1, keepdims=True)
+            weights = np.exp(scores - shift)
+            norm = weights.sum(axis=1, keepdims=True)
+            posterior = weights / norm
+            ll = float((shift.squeeze(1) + np.log(norm.squeeze(1))
+                        - np.log(scores.shape[1])).sum())
+            # M-step: posterior-weighted base counts per motif column
+            new_pwm = np.full((w, 4), _PSEUDO)
+            n_pos = scores.shape[1]
+            for offset in range(w):
+                cols = seqs[:, offset:offset + n_pos]
+                for base in range(4):
+                    new_pwm[offset, base] += float(
+                        posterior[cols == base].sum())
+            new_pwm /= new_pwm.sum(axis=1, keepdims=True)
+            pwm = new_pwm
+            if abs(ll - prev_ll) < self.tol * max(1.0, abs(prev_ll)):
+                prev_ll = ll
+                break
+            prev_ll = ll
+
+        positions = posterior.argmax(axis=1)
+        return MemeResult(pwm, positions, prev_ll, iteration)
+
+    def consensus(self, pwm: np.ndarray) -> str:
+        """Most likely base at each motif column."""
+        from repro.apps.sequences import ALPHABET
+        return "".join(ALPHABET[int(b)] for b in pwm.argmax(axis=1))
+
+
+class MemeWorkload:
+    """Generator of Fig.-8-scale MEME job specs.
+
+    Every job uses "the same set of input files and arguments" (§V-D1);
+    run-to-run compute variation comes from EM convergence randomness,
+    modelled as lognormal noise around the calibrated base work.
+    """
+
+    def __init__(self, calib, rng: np.random.Generator):
+        self.calib = calib
+        self.rng = rng
+
+    def job(self, index: int) -> JobSpec:
+        work = float(self.calib.meme_base_work
+                     * self.rng.lognormal(0.0, self.calib.meme_work_sigma))
+        return JobSpec(name="meme", work_ref=work,
+                       input_size=self.calib.meme_input_size,
+                       output_size=self.calib.meme_output_size)
+
+    def jobs(self, count: int) -> list[JobSpec]:
+        return [self.job(i) for i in range(count)]

@@ -1,0 +1,38 @@
+"""Brunet structured P2P overlay — the paper's first contribution.
+
+Reimplements the Brunet protocol suite the paper extends: a ring of nodes
+ordered by 160-bit addresses with structured near/far connections, greedy
+routing, the Connect-To-Me (CTM) + linking protocols (which double as
+decentralized NAT hole punching), keep-alive pings, and the connection
+overlords — including the score-driven ShortcutConnectionOverlord of
+§IV-E.
+"""
+
+from repro.brunet.address import (
+    ADDRESS_SPACE,
+    BrunetAddress,
+    address_from_ip,
+    random_address,
+    ring_distance,
+    directed_distance,
+)
+from repro.brunet.uri import Uri
+from repro.brunet.config import BrunetConfig
+from repro.brunet.connection import Connection, ConnectionType
+from repro.brunet.table import ConnectionTable
+from repro.brunet.node import BrunetNode
+
+__all__ = [
+    "ADDRESS_SPACE",
+    "BrunetAddress",
+    "address_from_ip",
+    "random_address",
+    "ring_distance",
+    "directed_distance",
+    "Uri",
+    "BrunetConfig",
+    "Connection",
+    "ConnectionType",
+    "ConnectionTable",
+    "BrunetNode",
+]

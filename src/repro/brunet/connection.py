@@ -1,0 +1,87 @@
+"""Overlay connections.
+
+A :class:`Connection` is "an overlay link between P2P nodes over which
+packets are routed" (§IV).  It remembers the peer's address, the physical
+endpoint that worked during linking, and keep-alive bookkeeping.
+
+A node pair needs only one physical link, but the link can serve several
+roles at once — it may simultaneously be a structured-near connection and a
+shortcut — so a connection carries a *set* of type labels.  Overlords manage
+labels; the link itself is shared.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Union
+
+from repro.brunet.address import BrunetAddress
+from repro.phys.endpoints import Endpoint
+
+
+class ConnectionType(str, enum.Enum):
+    """Roles an overlay link can play (paper §IV-A/§IV-E)."""
+
+    LEAF = "leaf"
+    STRUCTURED_NEAR = "structured.near"
+    STRUCTURED_FAR = "structured.far"
+    SHORTCUT = "shortcut"
+
+    @property
+    def structured(self) -> bool:
+        """Structured connections participate in greedy routing."""
+        return self in (ConnectionType.STRUCTURED_NEAR,
+                        ConnectionType.STRUCTURED_FAR,
+                        ConnectionType.SHORTCUT)
+
+
+class Connection:
+    """One established overlay link (one node's view of it)."""
+
+    __slots__ = ("peer_addr", "remote_endpoint", "types", "established_at",
+                 "closed", "last_heard", "unanswered_pings", "packets_sent",
+                 "packets_received", "bytes_sent")
+
+    def __init__(self, peer_addr: BrunetAddress, remote_endpoint: Endpoint,
+                 conn_type: Union[ConnectionType, Iterable[ConnectionType]],
+                 now: float):
+        self.peer_addr = peer_addr
+        self.remote_endpoint = remote_endpoint
+        if isinstance(conn_type, ConnectionType):
+            self.types: set[ConnectionType] = {conn_type}
+        else:
+            self.types = set(conn_type)
+        self.established_at = now
+        self.closed = False
+        self.last_heard = now
+        self.unanswered_pings = 0
+        self.packets_sent = 0
+        self.packets_received = 0
+        self.bytes_sent = 0
+
+    @property
+    def structured(self) -> bool:
+        """True when any label participates in greedy routing."""
+        return any(t.structured for t in self.types)
+
+    @property
+    def conn_type(self) -> ConnectionType:
+        """Most specific label, for display/trace purposes."""
+        for t in (ConnectionType.STRUCTURED_NEAR, ConnectionType.SHORTCUT,
+                  ConnectionType.STRUCTURED_FAR, ConnectionType.LEAF):
+            if t in self.types:
+                return t
+        return next(iter(self.types))  # pragma: no cover - types never empty
+
+    def add_type(self, conn_type: ConnectionType) -> None:
+        """Give the link an additional role label."""
+        self.types.add(conn_type)
+
+    def heard_from(self, now: float) -> None:
+        """Any traffic from the peer refreshes keep-alive state."""
+        self.last_heard = now
+        self.unanswered_pings = 0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        labels = "+".join(sorted(t.value for t in self.types))
+        return f"<Conn {labels} peer={self.peer_addr!r} via {self.remote_endpoint}>"

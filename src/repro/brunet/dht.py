@@ -1,0 +1,188 @@
+"""A DHT over the Brunet ring — the paper's §VI future work.
+
+"In future work we plan to investigate approaches for decentralized
+resource discovery, scheduling and data management that are suitable for
+large-scale systems."  The structured ring already gives consistent
+key ownership: the node nearest a key's hash stores it (the same
+deliver-at-nearest semantics CTM uses).  This module adds:
+
+* ``put``/``get`` with per-key replication to the owner's ring successors,
+* soft-state entries with TTL (re-publish to survive churn),
+* a request/reply protocol over routed overlay packets.
+
+:mod:`repro.middleware.discovery` builds decentralized resource discovery
+on top.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.brunet.address import BrunetAddress
+from repro.sim.process import Signal
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.brunet.node import BrunetNode
+
+_rid = itertools.count(1)
+
+MSG_SIZE = 300
+
+
+def key_address(key: str) -> BrunetAddress:
+    """Ring address that owns ``key``."""
+    digest = hashlib.sha1(f"dht:{key}".encode()).digest()
+    return BrunetAddress(int.from_bytes(digest, "big"))
+
+
+@dataclass
+class DhtPut:
+    """Store request, routed to the key's owner (nearest node)."""
+
+    rid: int
+    key: str
+    value: Any
+    ttl: float
+    reply_to: BrunetAddress
+    replicate: int = 1  # hops of successor replication left
+    primary: bool = True  # False on replica copies (no ack sent)
+
+
+@dataclass
+class DhtGet:
+    """Lookup request, routed to the key's owner."""
+
+    rid: int
+    key: str
+    reply_to: BrunetAddress
+
+
+@dataclass
+class DhtReply:
+    """Answer to a put (ack) or get (values), routed back to the asker."""
+
+    rid: int
+    key: str
+    values: list
+    found: bool
+
+
+@dataclass
+class _Entry:
+    value: Any
+    expires_at: float
+    publisher: BrunetAddress
+
+
+class DhtNode:
+    """DHT service attached to one Brunet node.
+
+    Every participating node runs one; keys live at the node whose address
+    is nearest the key hash (plus ``replication`` ring successors).
+    """
+
+    def __init__(self, node: "BrunetNode", replication: int = 1,
+                 gc_interval: float = 30.0):
+        self.node = node
+        self.sim = node.sim
+        self.replication = replication
+        self.store: dict[str, list[_Entry]] = {}
+        self._pending: dict[int, Signal] = {}
+        self.puts_served = 0
+        self.gets_served = 0
+        node.dht = self
+        self._gc_interval = gc_interval
+        self._gc_timer = self.sim.schedule(gc_interval, self._gc)
+        node.payload_handlers[DhtPut] = lambda pkt: self._on_put(pkt.payload)
+        node.payload_handlers[DhtGet] = lambda pkt: self._on_get(pkt.payload)
+        node.payload_handlers[DhtReply] = \
+            lambda pkt: self._on_reply(pkt.payload)
+
+    # ------------------------------------------------------------------
+    # client API
+    # ------------------------------------------------------------------
+    def put(self, key: str, value: Any, ttl: float = 120.0) -> Signal:
+        """Store (append) ``value`` under ``key``; returns a latched Signal
+        fired with the storing node's ack (or never, if the put is lost —
+        soft state is republished by callers)."""
+        rid = next(_rid)
+        done = Signal(self.sim, f"dht.put.{rid}", latch=True)
+        self._pending[rid] = done
+        msg = DhtPut(rid, key, value, ttl, self.node.addr,
+                     replicate=self.replication)
+        self.node.send_routed(key_address(key), msg, MSG_SIZE, exact=False)
+        return done
+
+    def get(self, key: str) -> Signal:
+        """Look up ``key``; Signal fires with a :class:`DhtReply`."""
+        rid = next(_rid)
+        done = Signal(self.sim, f"dht.get.{rid}", latch=True)
+        self._pending[rid] = done
+        msg = DhtGet(rid, key, self.node.addr)
+        self.node.send_routed(key_address(key), msg, MSG_SIZE, exact=False)
+        return done
+
+    # ------------------------------------------------------------------
+    # server side
+    # ------------------------------------------------------------------
+    def _on_put(self, msg: DhtPut) -> None:
+        self.puts_served += 1
+        entries = self.store.setdefault(msg.key, [])
+        # replace an entry from the same publisher (republish), else append
+        entries[:] = [e for e in entries if e.publisher != msg.reply_to
+                      or e.value != msg.value]
+        entries.append(_Entry(msg.value, self.sim.now + msg.ttl,
+                              msg.reply_to))
+        if msg.primary and msg.replicate > 0:
+            # replicate to both ring neighbours: whichever of them becomes
+            # the key's nearest node after this owner dies already holds it
+            import dataclasses
+            from repro.brunet.messages import RoutedPacket
+            for conn in (self.node.table.right_neighbor(),
+                         self.node.table.left_neighbor()):
+                if conn is None:
+                    continue
+                copy = dataclasses.replace(msg, replicate=msg.replicate - 1,
+                                           primary=False)
+                pkt = RoutedPacket(src=self.node.addr, dest=conn.peer_addr,
+                                   payload=copy, size=MSG_SIZE, exact=True,
+                                   ttl=self.node.config.ttl)
+                self.node.send_over(conn, pkt)
+        if msg.primary:
+            reply = DhtReply(msg.rid, msg.key, [], True)
+            self.node.send_routed(msg.reply_to, reply, MSG_SIZE, exact=True)
+
+    def _on_get(self, msg: DhtGet) -> None:
+        self.gets_served += 1
+        now = self.sim.now
+        entries = [e for e in self.store.get(msg.key, [])
+                   if e.expires_at > now]
+        reply = DhtReply(msg.rid, msg.key, [e.value for e in entries],
+                         bool(entries))
+        self.node.send_routed(msg.reply_to, reply, MSG_SIZE, exact=True)
+
+    def _on_reply(self, msg: DhtReply) -> None:
+        done = self._pending.pop(msg.rid, None)
+        if done is not None:
+            done.fire(msg)
+
+    # ------------------------------------------------------------------
+    def _gc(self) -> None:
+        if not self.node.active:
+            return
+        now = self.sim.now
+        for key in list(self.store):
+            live = [e for e in self.store[key] if e.expires_at > now]
+            if live:
+                self.store[key] = live
+            else:
+                del self.store[key]
+        self._gc_timer = self.sim.schedule(self._gc_interval, self._gc)
+
+    def stop(self) -> None:
+        """Cancel the garbage-collection timer."""
+        if self._gc_timer is not None:
+            self._gc_timer.cancel()

@@ -1,0 +1,393 @@
+"""BrunetNode: one P2P router.
+
+Owns the UDP socket, connection table, linker, overlords and the greedy
+router.  The IPOP layer sits on top via :attr:`ip_handler` (inbound
+tunnelled packets) and :meth:`inspect_traffic` (outbound traffic scores for
+the shortcut overlord).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.brunet.address import BrunetAddress, directed_distance
+from repro.brunet.config import BrunetConfig, DEFAULT_CONFIG
+from repro.brunet.connection import Connection, ConnectionType
+from repro.brunet.linking import Linker
+from repro.brunet.messages import (
+    CloseMessage,
+    CtmReply,
+    CtmRequest,
+    Forward,
+    IpEncap,
+    LinkError,
+    LinkReply,
+    LinkRequest,
+    PingReply,
+    PingRequest,
+    RoutedPacket,
+    next_token,
+)
+from repro.brunet.routing import next_hop
+from repro.brunet.table import ConnectionTable
+from repro.brunet.uri import Uri, UriSet
+from repro.phys.endpoints import Endpoint
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.phys.host import Host
+    from repro.sim.engine import Simulator
+
+
+class BrunetNode:
+    """A Brunet P2P router bound to one UDP port on a host."""
+
+    def __init__(self, sim: "Simulator", host: "Host", addr: BrunetAddress,
+                 config: Optional[BrunetConfig] = None,
+                 port: Optional[int] = None, name: str = ""):
+        self.sim = sim
+        self.host = host
+        self.addr = addr
+        self.config = config or DEFAULT_CONFIG
+        self.name = name or f"bn.{host.name}"
+        self.active = False
+        self.port = port if port is not None else self.config.default_port
+        self.sock = None
+        self.uris: UriSet = UriSet(Uri.udp(host.ip, self.port))
+        self.table = ConnectionTable(addr)
+        self.linker = Linker(self)
+        self.peer_uris: dict[BrunetAddress, list[Uri]] = {}
+        self.ip_handler: Optional[Callable[[IpEncap], None]] = None
+        #: extension point: routed-payload type → handler(packet)
+        self.payload_handlers: dict[type, Callable[[RoutedPacket], None]] = {}
+        self.stats: Counter = Counter()
+        self.bootstrap_uris: list[Uri] = []
+        self.overlords: list = []
+        self._ping_timer = None
+        # observability hooks
+        self.on_connection: list[Callable[[Connection], None]] = []
+        self.on_disconnection: list[Callable[[Connection], None]] = []
+        self.joined_at: Optional[float] = None
+        self.started_at: Optional[float] = None
+        self.table.on_added.append(self._connection_added)
+        self.table.on_removed.append(self._connection_removed)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self, bootstrap_uris: list[Uri]) -> None:
+        """Bind the socket and begin joining via the bootstrap URIs."""
+        from repro.brunet.overlords import (
+            FarConnectionOverlord,
+            LeafConnectionOverlord,
+            NearConnectionOverlord,
+            ShortcutConnectionOverlord,
+        )
+        if self.active:
+            raise RuntimeError(f"{self.name} already started")
+        if self.port in self.host.sockets:
+            self.port = self.host.ephemeral_port()
+            self.uris = UriSet(Uri.udp(self.host.ip, self.port))
+        self.sock = self.host.bind_udp(self.port, self._on_datagram)
+        self.active = True
+        self.started_at = self.sim.now
+        self.bootstrap_uris = [u for u in bootstrap_uris
+                               if u.endpoint != self.uris.local.endpoint]
+        self.shortcut_overlord = ShortcutConnectionOverlord(self)
+        self.overlords = [
+            LeafConnectionOverlord(self),
+            NearConnectionOverlord(self),
+            FarConnectionOverlord(self),
+            self.shortcut_overlord,
+        ]
+        for o in self.overlords:
+            o.start()
+        self._ping_timer = self.sim.schedule(
+            self.config.ping_interval / 2, self._ping_tick)
+        self.trace("node.start")
+
+    def stop(self) -> None:
+        """Kill the node: the migration recipe is stop + fresh start
+        ("killing and restarting the user-level IPOP program", §V-C)."""
+        if not self.active:
+            return
+        self.active = False
+        for o in self.overlords:
+            o.stop()
+        self.linker.cancel_all()
+        if self._ping_timer is not None:
+            self._ping_timer.cancel()
+        if self.sock is not None:
+            self.sock.close()
+        self.table.clear()
+        self.trace("node.stop")
+
+    # ------------------------------------------------------------------
+    # address-space helpers
+    # ------------------------------------------------------------------
+    @property
+    def in_ring(self) -> bool:
+        """True once the node holds at least one structured-near link."""
+        return bool(self.table.by_type(ConnectionType.STRUCTURED_NEAR))
+
+    def leaf_connection(self) -> Optional[Connection]:
+        """The bootstrap leaf link, if currently up."""
+        leafs = self.table.by_type(ConnectionType.LEAF)
+        return leafs[0] if leafs else None
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def send_direct(self, dst: Endpoint, msg: Any, size: int) -> None:
+        """One UDP datagram straight to a physical endpoint."""
+        if self.sock is not None and self.active:
+            self.sock.send(dst, msg, size=size)
+
+    def send_over(self, conn: Connection, pkt: RoutedPacket) -> None:
+        pkt.hops += 1
+        pkt.via.append(self.addr)
+        conn.packets_sent += 1
+        conn.bytes_sent += pkt.size
+        self.stats["forwarded" if pkt.src != self.addr else "sent"] += 1
+        self.send_direct(conn.remote_endpoint, pkt,
+                         pkt.size + self.config.size_routed_header)
+
+    def send_routed(self, dest: BrunetAddress, payload: Any, size: int,
+                    exact: bool = True) -> RoutedPacket:
+        pkt = RoutedPacket(src=self.addr, dest=dest, payload=payload,
+                           size=size, exact=exact, ttl=self.config.ttl)
+        self.route(pkt)
+        return pkt
+
+    def connect_to(self, dest: BrunetAddress, conn_type: ConnectionType,
+                   via_leaf: bool = False, fanout: int = 0) -> None:
+        """Initiate the CTM protocol toward ``dest`` (§IV-B step 1)."""
+        reply_via = None
+        if via_leaf:
+            leaf = self.leaf_connection()
+            if leaf is None:
+                return
+            reply_via = leaf.peer_addr
+        msg = CtmRequest(next_token(), self.addr, self.uris.advertised(),
+                         conn_type.value, reply_via=reply_via, fanout=fanout)
+        pkt = RoutedPacket(src=self.addr, dest=dest, payload=msg,
+                           size=self.config.size_ctm, exact=False,
+                           exclude_dest_link=(dest == self.addr),
+                           ttl=self.config.ttl)
+        self.stats["ctm_sent"] += 1
+        self.route(pkt)
+
+    def announce(self) -> None:
+        """CTM-to-self through the leaf target: find my ring position
+        (§IV-C)."""
+        self.connect_to(self.addr, ConnectionType.STRUCTURED_NEAR,
+                        via_leaf=True, fanout=1)
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def route(self, pkt: RoutedPacket) -> None:
+        """Greedy-forward (or deliver/drop) one overlay packet."""
+        if not self.active:
+            return
+        if pkt.hops >= pkt.ttl:
+            self.stats["ttl_drop"] += 1
+            self.trace("route.ttl_drop", dest=pkt.dest)
+            return
+        if pkt.dest == self.addr and not pkt.exclude_dest_link:
+            self._deliver(pkt)
+            return
+        conn = next_hop(self.table, self.addr, pkt.dest,
+                        pkt.exclude_dest_link, pkt.approach)
+        if conn is not None:
+            self.send_over(conn, pkt)
+            return
+        # local minimum
+        if pkt.src == self.addr and pkt.hops == 0:
+            leaf = self.leaf_connection()
+            if leaf is not None:
+                self.send_over(leaf, pkt)
+                return
+        if pkt.exact and pkt.dest != self.addr:
+            self.stats["undeliverable"] += 1
+            self.trace("route.undeliverable", dest=pkt.dest)
+            return
+        self._deliver(pkt)
+
+    def _deliver(self, pkt: RoutedPacket) -> None:
+        payload = pkt.payload
+        self.stats["delivered"] += 1
+        if isinstance(payload, CtmRequest):
+            self._handle_ctm_request(pkt, payload)
+        elif isinstance(payload, CtmReply):
+            self._handle_ctm_reply(payload)
+        elif isinstance(payload, Forward):
+            inner = RoutedPacket(src=pkt.src, dest=payload.final_dest,
+                                 payload=payload.inner, size=payload.size,
+                                 exact=True, ttl=self.config.ttl,
+                                 hops=pkt.hops)
+            self.route(inner)
+        elif isinstance(payload, IpEncap):
+            if pkt.dest == self.addr and self.ip_handler is not None:
+                self.ip_handler(payload)
+            else:
+                self.stats["ip_drop"] += 1
+        else:
+            handler = self.payload_handlers.get(type(payload))
+            if handler is not None:
+                handler(pkt)
+            else:
+                self.trace("route.unhandled", kind=type(payload).__name__)
+
+    # ------------------------------------------------------------------
+    # CTM protocol
+    # ------------------------------------------------------------------
+    def _handle_ctm_request(self, pkt: RoutedPacket, msg: CtmRequest) -> None:
+        if msg.initiator_addr == self.addr:
+            return
+        self.stats["ctm_received"] += 1
+        conn_type = ConnectionType(msg.conn_type)
+        reply = CtmReply(msg.token, self.addr, self.uris.advertised(),
+                         msg.conn_type)
+        if msg.reply_via is not None and msg.reply_via != self.addr:
+            fwd = Forward(msg.initiator_addr, reply, self.config.size_ctm)
+            self.send_routed(msg.reply_via, fwd, self.config.size_ctm,
+                             exact=True)
+        else:
+            self.send_routed(msg.initiator_addr, reply, self.config.size_ctm,
+                             exact=True)
+        self.linker.start(msg.initiator_addr, msg.initiator_uris, conn_type)
+        if pkt.dest != self.addr and msg.fanout > 0:
+            self._ctm_fanout(pkt, msg)
+
+    def _ctm_fanout(self, pkt: RoutedPacket, msg: CtmRequest) -> None:
+        """Re-launch a join announce toward the joiner's *other* ring
+        neighbour using side-constrained greedy routing, so the joiner
+        learns both neighbours even when this responder is not connected to
+        the node on the far side (§IV-C)."""
+        joining = pkt.dest
+        i_am_right = (directed_distance(joining, self.addr)
+                      <= directed_distance(self.addr, joining))
+        approach = "left" if i_am_right else "right"
+        copy = dataclasses.replace(msg, fanout=msg.fanout - 1)
+        fan_pkt = RoutedPacket(src=pkt.src, dest=joining, payload=copy,
+                               size=pkt.size, exact=False,
+                               exclude_dest_link=True, approach=approach,
+                               ttl=self.config.ttl, hops=pkt.hops)
+        self.route(fan_pkt)
+
+    def _handle_ctm_reply(self, msg: CtmReply) -> None:
+        self.stats["ctm_reply_received"] += 1
+        conn_type = ConnectionType(msg.conn_type)
+        self.linker.start(msg.responder_addr, msg.responder_uris, conn_type)
+
+    # ------------------------------------------------------------------
+    # datagram dispatch
+    # ------------------------------------------------------------------
+    def _on_datagram(self, payload: Any, src: Endpoint, size: int) -> None:
+        if not self.active:
+            return
+        if isinstance(payload, RoutedPacket):
+            if payload.via:
+                conn = self.table.get(payload.via[-1])
+                if conn is not None:
+                    conn.heard_from(self.sim.now)
+                    conn.packets_received += 1
+            self.route(payload)
+        elif isinstance(payload, LinkRequest):
+            self.linker.handle_request(payload, src)
+        elif isinstance(payload, LinkReply):
+            self.linker.handle_reply(payload, src)
+        elif isinstance(payload, LinkError):
+            self.linker.handle_error(payload, src)
+        elif isinstance(payload, PingRequest):
+            self._handle_ping_request(payload, src)
+        elif isinstance(payload, PingReply):
+            self._handle_ping_reply(payload, src)
+        elif isinstance(payload, CloseMessage):
+            self.table.remove(payload.sender_addr)
+        else:
+            self.trace("datagram.unhandled", kind=type(payload).__name__)
+
+    # ------------------------------------------------------------------
+    # keep-alive (§IV-B)
+    # ------------------------------------------------------------------
+    def _ping_tick(self) -> None:
+        if not self.active:
+            return
+        now = self.sim.now
+        cfg = self.config
+        for conn in self.table.all():
+            if conn.unanswered_pings > cfg.ping_retries:
+                self.drop_connection(conn, reason="ping-timeout")
+                continue
+            if now - conn.last_heard >= cfg.ping_interval:
+                req = PingRequest(next_token(), self.addr)
+                conn.unanswered_pings += 1
+                self.send_direct(conn.remote_endpoint, req, cfg.size_ping)
+        self._ping_timer = self.sim.schedule(cfg.ping_interval / 2,
+                                             self._ping_tick)
+
+    def _handle_ping_request(self, msg: PingRequest, src: Endpoint) -> None:
+        conn = self.table.get(msg.sender_addr)
+        if conn is not None:
+            conn.heard_from(self.sim.now)
+            conn.remote_endpoint = src  # tracks NAT re-mappings (§V-E)
+        reply = PingReply(msg.token, self.addr, Uri("udp", src))
+        self.send_direct(src, reply, self.config.size_ping)
+
+    def _handle_ping_reply(self, msg: PingReply, src: Endpoint) -> None:
+        if self.uris.learn(msg.observed_uri):
+            self.trace("uri.learned", uri=str(msg.observed_uri))
+        conn = self.table.get(msg.sender_addr)
+        if conn is not None:
+            conn.heard_from(self.sim.now)
+            conn.remote_endpoint = src
+
+    def drop_connection(self, conn: Connection, reason: str,
+                        notify: bool = False) -> None:
+        """Discard connection state ("any unresponded ping message is
+        perceived as the node going down", §IV-B).  ``notify`` sends a
+        graceful close so the peer drops its state immediately instead of
+        waiting out the keep-alive timeout."""
+        self.trace("conn.drop", peer=conn.peer_addr, reason=reason,
+                   conn_type=conn.conn_type.value)
+        if notify:
+            self.send_direct(conn.remote_endpoint,
+                             CloseMessage(self.addr, reason),
+                             self.config.size_ping)
+        self.table.remove(conn.peer_addr)
+
+    # ------------------------------------------------------------------
+    # IPOP hooks
+    # ------------------------------------------------------------------
+    def inspect_traffic(self, dest_addr: BrunetAddress,
+                        packets: int = 1) -> None:
+        """Feed outbound virtual-IP traffic into the shortcut score queue."""
+        if self.active and self.overlords:
+            self.shortcut_overlord.observe(dest_addr, packets)
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def _connection_added(self, conn: Connection) -> None:
+        self.trace("conn.add", peer=conn.peer_addr,
+                   conn_type=conn.conn_type.value,
+                   ep=str(conn.remote_endpoint))
+        if (self.joined_at is None
+                and ConnectionType.STRUCTURED_NEAR in conn.types):
+            self.joined_at = self.sim.now
+        for cb in list(self.on_connection):
+            cb(conn)
+
+    def _connection_removed(self, conn: Connection) -> None:
+        for cb in list(self.on_disconnection):
+            cb(conn)
+
+    def trace(self, category: str, **data: Any) -> None:
+        """Record a node-stamped trace event."""
+        self.sim.trace(category, node=self.name, **data)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<BrunetNode {self.name} {self.addr!r} conns={len(self.table)}>"

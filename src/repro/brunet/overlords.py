@@ -1,0 +1,299 @@
+"""Connection overlords (§IV).
+
+"For each connection type, each P2P node has a connection overlord which
+ensures the node has the right number of connections."  Four overlords:
+
+* **Leaf** — bootstrap: keep one direct link to a configured seed node.
+* **Near** — ring membership: announce (CTM-to-self via the leaf target) to
+  find and hold both ring neighbours; re-announce on neighbour loss.
+* **Far** — k Kleinberg-distributed long-range links for O(log²n/k) routing.
+* **Shortcut** — the paper's §IV-E contribution: a per-destination score
+  queue ``s(i+1) = max(s(i) + a(i) − c, 0)`` driven by traffic inspection;
+  scores above a threshold trigger decentralized single-hop link creation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.brunet.address import (
+    BrunetAddress,
+    directed_distance,
+    kleinberg_far_target,
+)
+from repro.brunet.connection import Connection, ConnectionType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.brunet.node import BrunetNode
+
+
+class Overlord:
+    """Base: periodic ``tick`` while the node is active."""
+
+    interval_attr = "overlord_interval"
+
+    def __init__(self, node: "BrunetNode"):
+        self.node = node
+        self._timer = None
+        self._stopped = False
+
+    def start(self) -> None:
+        """Begin periodic maintenance (first tick runs immediately)."""
+        self.tick_safe()
+
+    def stop(self) -> None:
+        """Cancel future ticks (node shutdown)."""
+        self._stopped = True
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def tick_safe(self) -> None:
+        """Run one tick if the node is alive, then reschedule."""
+        if self._stopped or not self.node.active:
+            return
+        self.tick()
+        interval = getattr(self.node.config, self.interval_attr)
+        self._timer = self.node.sim.schedule(interval, self.tick_safe)
+
+    def tick(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class LeafConnectionOverlord(Overlord):
+    """Keeps ≥1 leaf connection to a bootstrap node (§IV-C)."""
+
+    def __init__(self, node: "BrunetNode"):
+        super().__init__(node)
+        self._seed_index = 0
+        self._attempting = False
+
+    def tick(self) -> None:
+        """Ensure a live leaf connection to some bootstrap seed."""
+        node = self.node
+        if node.leaf_connection() is not None or self._attempting:
+            return
+        seeds = node.bootstrap_uris
+        if not seeds:
+            return
+        uri = seeds[self._seed_index % len(seeds)]
+        self._seed_index += 1
+        self._attempting = True
+
+        def on_done(*_args) -> None:
+            self._attempting = False
+
+        node.linker.start(None, [uri], ConnectionType.LEAF,
+                          on_success=on_done, on_fail=on_done)
+
+
+class NearConnectionOverlord(Overlord):
+    """Finds the node's ring position and repairs it after failures.
+
+    Besides the join-time announce, the overlord re-announces periodically:
+    greedy routing only stays correct if every node is linked to its true
+    ring neighbours, and a node that joined *between* two linked nodes can
+    leave one side unaware (its announce fanned out to a stale neighbour).
+    The periodic CTM-to-self converges the ring under churn.
+    """
+
+    ANNOUNCE_RETRY = 10.0
+    REANNOUNCE_INTERVAL = 30.0
+
+    def __init__(self, node: "BrunetNode"):
+        super().__init__(node)
+        self._last_announce = -1e18
+        node.on_disconnection.append(self._on_disconnection)
+        node.on_connection.append(self._on_connection)
+
+    def _on_connection(self, conn: Connection) -> None:
+        # announce the moment the bootstrap leaf link lands, rather than
+        # waiting for the next maintenance tick — join latency matters
+        # (abstract: "90% of the nodes self-configured P2P routes within
+        # 10 seconds")
+        if ConnectionType.LEAF in conn.types and not self.node.in_ring \
+                and not self._stopped and self.node.active:
+            self.node.sim.schedule(0.0, self._maybe_announce)
+
+    def _on_disconnection(self, conn: Connection) -> None:
+        if ConnectionType.STRUCTURED_NEAR in conn.types \
+                and not self._stopped and self.node.active:
+            # neighbour died: rediscover current nearest on both sides
+            self.node.sim.schedule(0.0, self._maybe_announce)
+
+    def _maybe_announce(self) -> None:
+        node = self.node
+        if self._stopped or not node.active:
+            return
+        if node.leaf_connection() is None:
+            return
+        if node.sim.now - self._last_announce < 1.0:
+            return
+        self._last_announce = node.sim.now
+        node.announce()
+
+    def tick(self) -> None:
+        """Announce when not in the ring; relabel/re-announce when in."""
+        node = self.node
+        if node.in_ring:
+            self._relabel_neighbors()
+            if node.sim.now - self._last_announce >= self.REANNOUNCE_INTERVAL:
+                self._maybe_announce()
+            return
+        if node.sim.now - self._last_announce >= self.ANNOUNCE_RETRY:
+            self._maybe_announce()
+
+    def _relabel_neighbors(self) -> None:
+        """Keep the near label on exactly the current ring neighbours.
+
+        Stale near labels (from join-time fanout or departed in-between
+        nodes) are trimmed; a connection left with no labels is closed
+        gracefully so both sides release state promptly.
+        """
+        node = self.node
+        keep = set()
+        per_side = node.config.near_per_side
+        for conn in node.table.neighbors_of(node.addr, per_side=per_side):
+            keep.add(conn.peer_addr)
+            if ConnectionType.STRUCTURED_NEAR not in conn.types:
+                conn.add_type(ConnectionType.STRUCTURED_NEAR)
+        for conn in node.table.by_type(ConnectionType.STRUCTURED_NEAR):
+            if conn.peer_addr in keep:
+                continue
+            if conn.types == {ConnectionType.STRUCTURED_NEAR}:
+                node.drop_connection(conn, reason="near-trimmed",
+                                     notify=True)
+            else:
+                conn.types.discard(ConnectionType.STRUCTURED_NEAR)
+
+
+class FarConnectionOverlord(Overlord):
+    """Maintains k structured-far connections at Kleinberg distances."""
+
+    PENDING_TTL = 30.0
+
+    def __init__(self, node: "BrunetNode"):
+        super().__init__(node)
+        self._rng = node.sim.rng.stream(f"brunet.far.{node.name}")
+        self._pending: list[float] = []  # expiry times of CTMs in flight
+
+    def tick(self) -> None:
+        """Top up structured-far links toward the configured k."""
+        node = self.node
+        if not node.in_ring:
+            return
+        now = node.sim.now
+        self._pending = [t for t in self._pending if t > now]
+        have = len(node.table.by_type(ConnectionType.STRUCTURED_FAR))
+        need = node.config.far_count - have - len(self._pending)
+        if need <= 0:
+            return
+        # local network-size estimate from ring-neighbour spacing
+        # (Symphony-style): don't sample inside my own arc
+        spacing = 2
+        right = node.table.right_neighbor()
+        if right is not None:
+            spacing = max(spacing,
+                          directed_distance(int(node.addr),
+                                            int(right.peer_addr)))
+        for _ in range(need):
+            target = kleinberg_far_target(int(node.addr), self._rng,
+                                          min_distance=spacing)
+            node.connect_to(target, ConnectionType.STRUCTURED_FAR)
+            self._pending.append(now + self.PENDING_TTL)
+
+
+class ShortcutConnectionOverlord(Overlord):
+    """Traffic-driven single-hop link creation (§IV-E).
+
+    ``observe`` is called by the IPOP layer for every outbound tunnelled
+    packet; each tick applies the queueing recurrence and connects to
+    destinations whose backlog exceeds the threshold.
+    """
+
+    interval_attr = "shortcut_tick"
+
+    def __init__(self, node: "BrunetNode"):
+        super().__init__(node)
+        self.scores: dict[BrunetAddress, float] = {}
+        self.arrivals: dict[BrunetAddress, int] = {}
+        self._pending: dict[BrunetAddress, float] = {}
+        self._last_nonzero: dict[BrunetAddress, float] = {}
+        cfg = node.config
+        self._pending_ttl = 2.0 * cfg.uri_give_up_time() + 30.0
+        node.on_connection.append(
+            lambda conn: self._pending.pop(conn.peer_addr, None))
+
+    @property
+    def enabled(self) -> bool:
+        """Mirrors ``BrunetConfig.shortcuts_enabled``."""
+        return self.node.config.shortcuts_enabled
+
+    def observe(self, dest: BrunetAddress, packets: int = 1) -> None:
+        """Record outbound IP traffic toward ``dest`` (a(i) arrivals)."""
+        if not self.enabled or dest == self.node.addr:
+            return
+        self.arrivals[dest] = self.arrivals.get(dest, 0) + packets
+
+    def score_of(self, dest: BrunetAddress) -> float:
+        """Current backlog score s(i) for ``dest``."""
+        return self.scores.get(dest, 0.0)
+
+    def tick(self) -> None:
+        """Apply s ← max(s + a − c, 0) and connect above the threshold."""
+        if not self.enabled:
+            return
+        node = self.node
+        cfg = node.config
+        now = node.sim.now
+        c = cfg.shortcut_service_rate * cfg.shortcut_tick
+        for dest in set(self.scores) | set(self.arrivals):
+            a = self.arrivals.pop(dest, 0)
+            s = max(self.scores.get(dest, 0.0) + a - c, 0.0)
+            if s <= 0.0:
+                # garbage-collect long-idle entries
+                if now - self._last_nonzero.get(dest, now) > 60.0:
+                    self.scores.pop(dest, None)
+                    self._last_nonzero.pop(dest, None)
+                else:
+                    self.scores[dest] = 0.0
+                    self._last_nonzero.setdefault(dest, now)
+                continue
+            self.scores[dest] = s
+            self._last_nonzero[dest] = now
+            if s >= cfg.shortcut_threshold:
+                self._maybe_connect(dest, s)
+        self._drop_idle()
+
+    def _maybe_connect(self, dest: BrunetAddress, score: float) -> None:
+        node = self.node
+        now = node.sim.now
+        if node.table.get(dest) is not None:
+            return  # already single-hop
+        pending_until = self._pending.get(dest, 0.0)
+        if pending_until > now:
+            return
+        shortcuts = node.table.by_type(ConnectionType.SHORTCUT)
+        if len(shortcuts) >= node.config.shortcut_max:
+            victim = min(shortcuts, key=lambda c: self.score_of(c.peer_addr))
+            if self.score_of(victim.peer_addr) >= score:
+                return
+            node.drop_connection(victim, reason="shortcut-evicted",
+                                 notify=True)
+        self._pending[dest] = now + self._pending_ttl
+        node.trace("shortcut.initiate", dest=dest, score=score)
+        node.connect_to(dest, ConnectionType.SHORTCUT)
+
+    def _drop_idle(self) -> None:
+        idle_limit = self.node.config.shortcut_idle_drop
+        if idle_limit <= 0:
+            return
+        now = self.node.sim.now
+        for conn in self.node.table.by_type(ConnectionType.SHORTCUT):
+            last = self._last_nonzero.get(conn.peer_addr, conn.established_at)
+            if now - last > idle_limit:
+                if conn.types == {ConnectionType.SHORTCUT}:
+                    self.node.drop_connection(conn, reason="shortcut-idle",
+                                              notify=True)
+                else:
+                    conn.types.discard(ConnectionType.SHORTCUT)

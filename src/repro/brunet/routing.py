@@ -1,0 +1,91 @@
+"""Greedy ring routing helpers.
+
+The forwarding decision itself lives in :meth:`BrunetNode.route`; this
+module holds the pure decision function (unit-testable without nodes) and
+:func:`trace_route`, which previews the overlay path a packet would take —
+the fluid-flow layer maps these paths onto bandwidth resources.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.brunet.address import BrunetAddress, directed_distance, ring_distance
+from repro.brunet.connection import Connection
+from repro.brunet.table import ConnectionTable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.brunet.node import BrunetNode
+
+
+def _metric(addr: BrunetAddress, dest: BrunetAddress,
+            approach: Optional[str]) -> int:
+    """Greedy distance.  With an ``approach`` side the packet must stay on
+    (and converge from) that side of ``dest``: "right" = clockwise of dest,
+    "left" = counter-clockwise."""
+    if approach == "right":
+        return directed_distance(dest, addr)
+    if approach == "left":
+        return directed_distance(addr, dest)
+    return ring_distance(addr, dest)
+
+
+def next_hop(table: ConnectionTable, my_addr: BrunetAddress,
+             dest: BrunetAddress,
+             exclude_dest_link: bool = False,
+             approach: Optional[str] = None) -> Optional[Connection]:
+    """The connection a greedy router forwards toward ``dest`` over, or
+    None when this node is a local minimum (deliver here / drop).
+
+    Each hop strictly decreases the metric to the destination, so greedy
+    forwarding can never loop.
+    """
+    if not exclude_dest_link and approach is None:
+        direct = table.get(dest)
+        if direct is not None:
+            return direct
+    my_d = _metric(my_addr, dest, approach)
+    best: Optional[Connection] = None
+    best_d = my_d
+    for conn in table.structured():
+        if conn.peer_addr == dest and (exclude_dest_link or approach):
+            continue
+        d = _metric(conn.peer_addr, dest, approach)
+        if d < best_d:
+            best, best_d = conn, d
+    return best
+
+
+def trace_route(start: "BrunetNode", dest: BrunetAddress,
+                resolve: Callable[[BrunetAddress], Optional["BrunetNode"]],
+                max_hops: int = 32) -> Optional[list["BrunetNode"]]:
+    """Preview the node sequence a packet from ``start`` to ``dest`` takes.
+
+    ``resolve`` maps a peer address to its live node (a deployment
+    registry).  Returns None when the route is currently broken (a hop's
+    node is down or a local minimum short of the destination is reached) —
+    callers pause flows in that case, mirroring the paper's migration
+    outage.
+    """
+    path = [start]
+    current = start
+    for _ in range(max_hops):
+        if current.addr == dest:
+            return path
+        conn = next_hop(current.table, current.addr, dest)
+        if conn is None:
+            return None
+        nxt = resolve(conn.peer_addr)
+        if nxt is None or not nxt.active:
+            return None
+        path.append(nxt)
+        current = nxt
+    return None
+
+
+def overlay_hop_count(start: "BrunetNode", dest: BrunetAddress,
+                      resolve: Callable[[BrunetAddress], Optional["BrunetNode"]]
+                      ) -> Optional[int]:
+    """Number of overlay hops from ``start`` to ``dest`` (None if broken)."""
+    path = trace_route(start, dest, resolve)
+    return None if path is None else len(path) - 1

@@ -1,0 +1,105 @@
+"""Overlay-wide diagnostics.
+
+Deployment-level surveys used by experiments, tests, and the examples:
+connection census, greedy hop-count distribution, RTT estimates per route,
+and a printable ring summary.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.brunet.connection import ConnectionType
+from repro.brunet.routing import overlay_hop_count
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.wow import Deployment
+
+
+@dataclass
+class OverlaySurvey:
+    """Snapshot of a deployment's overlay health."""
+
+    n_nodes: int
+    ring_consistent: bool
+    connections_by_type: Counter = field(default_factory=Counter)
+    degree_mean: float = 0.0
+    degree_max: int = 0
+    hop_counts: list[int] = field(default_factory=list)
+    unreachable_pairs: int = 0
+
+    @property
+    def hop_mean(self) -> float:
+        """Mean greedy hop count over the sampled routes."""
+        return float(np.mean(self.hop_counts)) if self.hop_counts else 0.0
+
+    @property
+    def hop_p95(self) -> float:
+        """95th-percentile hop count."""
+        return (float(np.percentile(self.hop_counts, 95))
+                if self.hop_counts else 0.0)
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable multi-line summary."""
+        lines = [
+            f"nodes: {self.n_nodes}  ring consistent: {self.ring_consistent}",
+            f"degree: mean {self.degree_mean:.1f}, max {self.degree_max}",
+            "connections: " + ", ".join(
+                f"{t}: {n}" for t, n in sorted(
+                    self.connections_by_type.items())),
+        ]
+        if self.hop_counts:
+            lines.append(f"routes: mean {self.hop_mean:.2f} hops, "
+                         f"p95 {self.hop_p95:.0f}, "
+                         f"unreachable pairs {self.unreachable_pairs}")
+        return lines
+
+
+def survey(deployment: "Deployment", sample_sources: int = 12,
+           include_routes: bool = True) -> OverlaySurvey:
+    """Measure the live overlay (structural census + sampled routes)."""
+    nodes = deployment.ring_nodes()
+    out = OverlaySurvey(n_nodes=len(nodes),
+                        ring_consistent=deployment.ring_consistent())
+    degrees = []
+    for node in nodes:
+        conns = node.table.all()
+        degrees.append(len(conns))
+        for conn in conns:
+            for t in conn.types:
+                out.connections_by_type[t.value] += 1
+    if degrees:
+        out.degree_mean = float(np.mean(degrees))
+        out.degree_max = int(max(degrees))
+    if include_routes and len(nodes) > 1:
+        sources = nodes[:: max(1, len(nodes) // sample_sources)]
+        for src in sources:
+            for dst in nodes:
+                if src is dst:
+                    continue
+                hops = overlay_hop_count(src, dst.addr, deployment.resolve)
+                if hops is None:
+                    out.unreachable_pairs += 1
+                else:
+                    out.hop_counts.append(hops)
+    return out
+
+
+def shortcut_census(deployment: "Deployment") -> dict[str, int]:
+    """How many shortcut links exist between each site pair."""
+    pairs: Counter = Counter()
+    for node in deployment.ring_nodes():
+        for conn in node.table.by_type(ConnectionType.SHORTCUT):
+            peer = deployment.resolve(conn.peer_addr)
+            if peer is None:
+                continue
+            a = node.host.site.name
+            b = peer.host.site.name
+            pairs["~".join(sorted((a, b)))] += 1
+    # each link counted once per endpoint
+    return {k: v // 2 for k, v in pairs.items() if v >= 2} | \
+        {k: v for k, v in pairs.items() if v == 1}

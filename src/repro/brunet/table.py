@@ -1,0 +1,134 @@
+"""Connection table: a node's view of its overlay links.
+
+Provides the queries routing and the overlords need: nearest structured
+neighbour to an address, left/right ring neighbours, connections by type.
+Node counts are small (a node holds ~2 near + k far + a few shortcuts), so
+linear scans are simpler and faster than maintaining a sorted structure.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from repro.brunet.address import BrunetAddress, directed_distance, ring_distance
+from repro.brunet.connection import Connection, ConnectionType
+
+
+class ConnectionTable:
+    """All live connections of one node, keyed by peer address."""
+
+    def __init__(self, my_addr: BrunetAddress):
+        self.my_addr = my_addr
+        self._conns: dict[BrunetAddress, Connection] = {}
+        self.on_added: list[Callable[[Connection], None]] = []
+        self.on_removed: list[Callable[[Connection], None]] = []
+
+    # -- mutation ---------------------------------------------------------
+    def add(self, conn: Connection) -> Connection:
+        """Insert the connection, or merge its labels into an existing link
+        to the same peer (a node pair needs at most one physical link)."""
+        old = self._conns.get(conn.peer_addr)
+        if old is not None:
+            old.heard_from(conn.established_at)
+            grew = bool(conn.types - old.types)
+            old.types |= conn.types
+            old.remote_endpoint = conn.remote_endpoint
+            if grew:
+                for cb in list(self.on_added):
+                    cb(old)
+            return old
+        self._conns[conn.peer_addr] = conn
+        for cb in list(self.on_added):
+            cb(conn)
+        return conn
+
+    def remove(self, peer_addr: BrunetAddress) -> Optional[Connection]:
+        """Drop the connection to ``peer_addr`` (fires on_removed)."""
+        conn = self._conns.pop(peer_addr, None)
+        if conn is not None:
+            conn.closed = True
+            for cb in list(self.on_removed):
+                cb(conn)
+        return conn
+
+    def clear(self) -> None:
+        """Drop every connection (node shutdown)."""
+        for addr in list(self._conns):
+            self.remove(addr)
+
+    # -- queries ----------------------------------------------------------
+    def get(self, peer_addr: BrunetAddress) -> Optional[Connection]:
+        """The connection to ``peer_addr``, or None."""
+        return self._conns.get(peer_addr)
+
+    def __contains__(self, peer_addr: BrunetAddress) -> bool:
+        return peer_addr in self._conns
+
+    def __len__(self) -> int:
+        return len(self._conns)
+
+    def all(self) -> list[Connection]:
+        """Snapshot list of every live connection."""
+        return list(self._conns.values())
+
+    def by_type(self, conn_type: ConnectionType) -> list[Connection]:
+        """Connections carrying the given type label."""
+        return [c for c in self._conns.values() if conn_type in c.types]
+
+    def structured(self) -> Iterable[Connection]:
+        """Connections that participate in greedy routing."""
+        return (c for c in self._conns.values() if c.structured)
+
+    def closest_to(self, dest: BrunetAddress) -> Optional[Connection]:
+        """Structured connection whose peer is nearest to ``dest`` on the
+        ring; None when the table has no structured connections."""
+        best: Optional[Connection] = None
+        best_d: Optional[int] = None
+        for conn in self._conns.values():
+            if not conn.structured:
+                continue
+            d = ring_distance(conn.peer_addr, dest)
+            if best_d is None or d < best_d:
+                best, best_d = conn, d
+        return best
+
+    def right_neighbor(self) -> Optional[Connection]:
+        """Nearest structured peer clockwise of me."""
+        return self._directional_neighbor(clockwise=True)
+
+    def left_neighbor(self) -> Optional[Connection]:
+        """Nearest structured peer counter-clockwise of me."""
+        return self._directional_neighbor(clockwise=False)
+
+    def _directional_neighbor(self, clockwise: bool) -> Optional[Connection]:
+        best: Optional[Connection] = None
+        best_d: Optional[int] = None
+        for conn in self._conns.values():
+            if not conn.structured:
+                continue
+            d = (directed_distance(self.my_addr, conn.peer_addr) if clockwise
+                 else directed_distance(conn.peer_addr, self.my_addr))
+            if d == 0:
+                continue
+            if best_d is None or d < best_d:
+                best, best_d = conn, d
+        return best
+
+    def neighbors_of(self, addr: BrunetAddress,
+                     per_side: int = 1) -> list[Connection]:
+        """Up to ``per_side`` nearest structured peers on each side of
+        ``addr`` (used when answering a joining node's CTM-to-self)."""
+        left: list[tuple[int, Connection]] = []
+        right: list[tuple[int, Connection]] = []
+        for conn in self._conns.values():
+            if not conn.structured or conn.peer_addr == addr:
+                continue
+            d_cw = directed_distance(addr, conn.peer_addr)
+            right.append((d_cw, conn))
+            left.append(((-d_cw) % (1 << 160), conn))
+        right.sort(key=lambda t: t[0])
+        left.sort(key=lambda t: t[0])
+        picked: dict[BrunetAddress, Connection] = {}
+        for _, conn in right[:per_side] + left[:per_side]:
+            picked[conn.peer_addr] = conn
+        return list(picked.values())

@@ -1,0 +1,21 @@
+"""WOW core: deployment orchestration and the paper's testbed.
+
+:class:`~repro.core.wow.Deployment` wires the substrates together (physical
+internet, Brunet overlay, IPOP, VMs);
+:func:`~repro.core.testbed.build_paper_testbed` reconstructs the Figure 1 /
+Table I environment: 118 PlanetLab router nodes plus 33 VMware-hosted
+compute VMs across six firewalled domains.
+"""
+
+from repro.core.config import CalibrationConfig, HostSpec, SiteSpec
+from repro.core.wow import Deployment
+from repro.core.testbed import build_paper_testbed, Testbed
+
+__all__ = [
+    "CalibrationConfig",
+    "HostSpec",
+    "SiteSpec",
+    "Deployment",
+    "build_paper_testbed",
+    "Testbed",
+]

@@ -1,0 +1,12 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+Each module exposes ``run(seed=..., scale=...)`` returning a result object
+with the rows/series the paper reports, plus ``main()`` for CLI use.  The
+``scale`` knob shrinks trial counts / job counts for CI and benchmarks;
+``scale=1.0`` is the paper's configuration.  ``run_all`` drives everything
+and regenerates EXPERIMENTS.md's measured column.
+"""
+
+from repro.experiments import common
+
+__all__ = ["common"]

@@ -1,0 +1,80 @@
+"""Shared experiment scaffolding."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.brunet.config import BrunetConfig
+from repro.core.config import CalibrationConfig
+from repro.core.testbed import Testbed, build_paper_testbed
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class ExperimentSetup:
+    """A warmed-up paper testbed ready for measurements."""
+
+    sim: Simulator
+    testbed: Testbed
+
+    @property
+    def deployment(self):
+        return self.testbed.deployment
+
+    @property
+    def calib(self) -> CalibrationConfig:
+        return self.testbed.deployment.calib
+
+
+def make_testbed(seed: int = 0, scale: float = 1.0,
+                 shortcuts: bool = True,
+                 trace: bool = False,
+                 calib: Optional[CalibrationConfig] = None,
+                 settle: float = 120.0) -> ExperimentSetup:
+    """Build and warm up a testbed.
+
+    ``scale`` shrinks the PlanetLab overlay (compute nodes stay at 33 —
+    the paper's cluster size matters for the application results; only the
+    bootstrap overlay is safely shrinkable).
+    """
+    n_routers = max(12, int(round(118 * scale)))
+    n_hosts = max(4, int(round(20 * scale)))
+    sim = Simulator(seed=seed, trace=trace)
+    brunet = BrunetConfig(shortcuts_enabled=shortcuts)
+    testbed = build_paper_testbed(sim, calib=calib, brunet_config=brunet,
+                                  n_planetlab_routers=n_routers,
+                                  n_planetlab_hosts=n_hosts)
+    testbed.run_warmup(settle=settle)
+    return ExperimentSetup(sim, testbed)
+
+
+def run_until_signal(sim: Simulator, signal, timeout: float) -> bool:
+    """Run the simulation until ``signal`` fires (returns True) or
+    ``timeout`` simulated seconds elapse (returns False).
+
+    Stops the event loop the moment the signal fires — without this, a
+    bounded ``run(until=...)`` would keep simulating keep-alive traffic for
+    the whole horizon after the measurement finished.
+    """
+    if signal.fired:
+        return True
+    signal.wait_callback(lambda _v: sim.stop())
+    sim.run(until=sim.now + timeout)
+    return signal.fired
+
+
+def fmt_row(cells: list, widths: list[int]) -> str:
+    """One fixed-width table row."""
+    return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+
+
+def print_table(title: str, header: list, rows: list[list]) -> None:
+    """Render a fixed-width table like the paper's."""
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows
+              else len(str(h)) for i, h in enumerate(header)]
+    print(f"\n=== {title} ===")
+    print(fmt_row(header, widths))
+    print(fmt_row(["-" * w for w in widths], widths))
+    for row in rows:
+        print(fmt_row(row, widths))

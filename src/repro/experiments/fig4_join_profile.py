@@ -1,0 +1,148 @@
+"""Figure 4: ICMP RTT and loss profiles while a node joins the WOW.
+
+Protocol (§V-B): node A is fixed; node B is started fresh, sends 400 ICMP
+echoes at 1 s intervals to A, and is torn down; repeated across trials with
+different virtual IPs (different ring positions).  Three location cases:
+UFL-NWU, UFL-UFL, NWU-NWU.
+
+Output: per-sequence mean RTT (over replies) and loss percentage — the two
+panels of Fig. 4 — plus the regime summary used by Fig. 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments.common import ExperimentSetup, make_testbed, print_table
+from repro.ipop import Pinger
+
+CASES = ("UFL-UFL", "UFL-NWU", "NWU-NWU")
+
+
+@dataclass
+class JoinProfile:
+    """Aggregated ping outcomes for one location case."""
+
+    case: str
+    count: int
+    rtt_sum: np.ndarray
+    rtt_n: np.ndarray
+    lost: np.ndarray
+    trials: int
+    shortcut_seqs: list[int] = field(default_factory=list)
+
+    @property
+    def mean_rtt_ms(self) -> np.ndarray:
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return 1000.0 * self.rtt_sum / self.rtt_n
+
+    @property
+    def loss_pct(self) -> np.ndarray:
+        return 100.0 * self.lost / self.trials
+
+    def summary(self) -> dict:
+        m = self.mean_rtt_ms
+        return {
+            "case": self.case,
+            "loss_first3_pct": float(self.loss_pct[:3].mean()),
+            "rtt_mid_ms": float(np.nanmean(m[4:33])),
+            "rtt_final_ms": float(np.nanmean(m[-50:])),
+            "median_shortcut_seq": (float(np.median(self.shortcut_seqs))
+                                    if self.shortcut_seqs else None),
+        }
+
+
+def _detect_shortcut(rtt: np.ndarray, final_rtt: float) -> int | None:
+    """First sequence from which RTTs stay at the direct-path level."""
+    window = 8
+    for start in range(rtt.size - window):
+        w = rtt[start:start + window]
+        w = w[~np.isnan(w)]
+        if w.size >= window // 2 and np.median(w) <= final_rtt * 1.5:
+            return start
+    return None
+
+
+def run(seed: int = 0, scale: float = 1.0, trials_per_case: int = 10,
+        count: int = 400, setup: ExperimentSetup | None = None
+        ) -> dict[str, JoinProfile]:
+    if setup is None:
+        setup = make_testbed(seed=seed, scale=scale)
+    sim, tb = setup.sim, setup.testbed
+    dep = setup.deployment
+
+    profiles: dict[str, JoinProfile] = {}
+    ip_counter = 100
+    for case in CASES:
+        src_site, dst = case.split("-")
+        target = tb.vm(2) if dst == "UFL" else tb.vm(17)
+        agg = JoinProfile(case, count, np.zeros(count), np.zeros(count),
+                          np.zeros(count), trials_per_case)
+        for trial in range(trials_per_case):
+            ip = f"172.16.1.{ip_counter % 150 + 100}"
+            ip_counter += 1
+            vm = dep.create_vm(f"joiner-{case}-{trial}", ip,
+                               dep.sites[src_site.lower()], cpu_speed=1.0)
+            vm.start()
+            pinger = Pinger(vm.router)
+            done = pinger.run(target.virtual_ip, count=count, interval=1.0)
+            sim.run(until=sim.now + count + 10)
+            stats = done.value
+            rtt = stats.rtt
+            agg.rtt_sum += np.nan_to_num(rtt, nan=0.0)
+            agg.rtt_n += stats.replied
+            agg.lost += ~stats.replied
+            final = float(np.nanmedian(rtt[-40:]))
+            if np.isfinite(final):
+                sc = _detect_shortcut(rtt, final)
+                if sc is not None:
+                    agg.shortcut_seqs.append(sc)
+            pinger.close()
+            vm.stop()
+            del dep.vms[vm.name]
+            # let stale connection state at peers drain between trials
+            sim.run(until=sim.now + 60)
+        profiles[case] = agg
+    return profiles
+
+
+def report(profiles: dict[str, JoinProfile],
+           csv_dir: str | None = None) -> list[dict]:
+    from repro.experiments.plotting import ascii_plot, export_series_csv
+    rows = []
+    for case, prof in profiles.items():
+        s = prof.summary()
+        rows.append(s)
+    print_table(
+        "Figure 4 — ICMP profiles during WOW node join",
+        ["case", "loss% (seq 0-2)", "RTT ms (seq 4-32)", "RTT ms (final)",
+         "shortcut @ seq (median)"],
+        [[r["case"], f"{r['loss_first3_pct']:.0f}%",
+          f"{r['rtt_mid_ms']:.0f}", f"{r['rtt_final_ms']:.1f}",
+          r["median_shortcut_seq"]] for r in rows])
+    seqs = np.arange(next(iter(profiles.values())).count)
+    rtt_series = {case: (seqs, prof.mean_rtt_ms)
+                  for case, prof in profiles.items()}
+    loss_series = {case: (seqs, prof.loss_pct)
+                   for case, prof in profiles.items()}
+    print()
+    print(ascii_plot(rtt_series, title="Fig. 4 (left): mean ICMP RTT (ms)",
+                     xlabel="ICMP sequence number"))
+    print()
+    print(ascii_plot(loss_series, title="Fig. 4 (right): lost packets (%)",
+                     xlabel="ICMP sequence number"))
+    if csv_dir is not None:
+        export_series_csv(f"{csv_dir}/fig4_rtt_ms.csv", rtt_series)
+        export_series_csv(f"{csv_dir}/fig4_loss_pct.csv", loss_series)
+    return rows
+
+
+def main(seed: int = 0, scale: float = 0.5, trials: int = 3) -> list[dict]:
+    profiles = run(seed=seed, scale=scale, trials_per_case=trials)
+    return report(profiles)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

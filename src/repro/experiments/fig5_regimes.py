@@ -1,0 +1,77 @@
+"""Figure 5: the three regimes of dropped ICMP packets during join.
+
+Zoom of Fig. 4's UFL-NWU loss profile over the first 50 sequence numbers:
+(1) the new node is not yet routable — ~90% loss; (2) routable over
+multi-hop P2P routes — loss falls below a few percent; (3) a shortcut to
+the target is up — ~1% loss and flat low RTT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments import fig4_join_profile
+from repro.experiments.common import ExperimentSetup, print_table
+
+
+@dataclass
+class RegimeSummary:
+    case: str
+    regime1_end: int  # first seq with a reply (routability)
+    regime2_end: int  # median shortcut sequence
+    loss_regime1_pct: float
+    loss_regime2_pct: float
+    loss_regime3_pct: float
+
+
+def summarize(profiles: dict[str, fig4_join_profile.JoinProfile]
+              ) -> list[RegimeSummary]:
+    out = []
+    for case, prof in profiles.items():
+        loss = prof.loss_pct
+        replies = prof.rtt_n
+        first_reply = int(np.argmax(replies > 0)) if replies.any() else prof.count
+        sc = (int(np.median(prof.shortcut_seqs)) if prof.shortcut_seqs
+              else prof.count)
+        sc = max(sc, first_reply + 1)
+        r1 = loss[:max(first_reply, 1)]
+        r2 = loss[first_reply:sc]
+        r3 = loss[sc:]
+        out.append(RegimeSummary(
+            case, first_reply, sc,
+            float(r1.mean()) if r1.size else 0.0,
+            float(r2.mean()) if r2.size else 0.0,
+            float(r3.mean()) if r3.size else 0.0))
+    return out
+
+
+def run(seed: int = 0, scale: float = 1.0, trials_per_case: int = 10,
+        count: int = 400, setup: ExperimentSetup | None = None,
+        profiles=None) -> list[RegimeSummary]:
+    if profiles is None:
+        profiles = fig4_join_profile.run(seed=seed, scale=scale,
+                                         trials_per_case=trials_per_case,
+                                         count=count, setup=setup)
+    return summarize(profiles)
+
+
+def report(summaries: list[RegimeSummary]) -> None:
+    print_table(
+        "Figure 5 — dropped-packet regimes during join",
+        ["case", "regime1 ends", "regime2 ends (shortcut)",
+         "loss r1", "loss r2", "loss r3"],
+        [[s.case, s.regime1_end, s.regime2_end,
+          f"{s.loss_regime1_pct:.0f}%", f"{s.loss_regime2_pct:.1f}%",
+          f"{s.loss_regime3_pct:.1f}%"] for s in summaries])
+
+
+def main(seed: int = 0, scale: float = 0.5, trials: int = 3):
+    summaries = run(seed=seed, scale=scale, trials_per_case=trials)
+    report(summaries)
+    return summaries
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

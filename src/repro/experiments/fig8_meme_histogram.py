@@ -1,0 +1,130 @@
+"""Figure 8: PBS/MEME wall-clock histograms, shortcuts enabled vs disabled.
+
+4000 short MEME jobs submitted at 1 job/s to a PBS head node; 33 workers;
+input/output staged over an NFS export on the head (§V-D1).  The paper
+measures 24.1 s ± 6.5 (shortcuts) vs 32.2 s ± 9.7 (no shortcuts) per job,
+and overall throughput 53 vs 22 jobs/minute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apps.meme import MemeWorkload
+from repro.experiments.common import (
+    ExperimentSetup,
+    make_testbed,
+    print_table,
+    run_until_signal,
+)
+from repro.middleware.nfs import NfsServer
+from repro.middleware.pbs import PbsMom, PbsServer
+
+#: the paper's histogram bins (wall-clock seconds, 8s-wide buckets)
+HIST_BINS = np.arange(0.0, 104.1, 8.0)
+
+
+@dataclass
+class MemeRunResult:
+    shortcuts: bool
+    n_jobs: int
+    completed: int
+    wall_mean: float
+    wall_std: float
+    throughput_jpm: float
+    histogram: np.ndarray
+    bin_edges: np.ndarray
+    total_wall_clock: float
+    jobs_per_node: dict[str, int] = field(default_factory=dict)
+
+
+def run_one(shortcuts: bool, seed: int = 0, scale: float = 1.0,
+            n_jobs: int = 4000, submit_interval: float = 1.0,
+            setup: ExperimentSetup | None = None) -> MemeRunResult:
+    if setup is None:
+        setup = make_testbed(seed=seed, scale=scale, shortcuts=shortcuts)
+    sim, tb = setup.sim, setup.testbed
+    calib = setup.calib
+
+    head = tb.head
+    nfs = NfsServer(head)
+    nfs.export("meme.in", calib.meme_input_size)
+    pbs = PbsServer(head)
+    for worker in tb.workers():
+        PbsMom(worker, head.virtual_ip)
+        pbs.register_worker(worker.virtual_ip)
+    workload = MemeWorkload(calib, sim.rng.stream("fig8.meme"))
+    all_done = pbs.expect(n_jobs)
+    t0 = sim.now
+    for i, spec in enumerate(workload.jobs(n_jobs)):
+        sim.schedule(i * submit_interval, pbs.qsub, spec)
+    run_until_signal(sim, all_done,
+                     n_jobs * submit_interval * 5.0 + 4000.0)
+
+    done = [r for r in pbs.records if r.end_time is not None]
+    walls = np.array([r.wall_time for r in done])
+    hist, edges = np.histogram(walls, bins=HIST_BINS)
+    per_node: dict[str, int] = {}
+    for r in done:
+        per_node[r.node_name] = per_node.get(r.node_name, 0) + 1
+    total = (max(r.end_time for r in done) - t0) if done else 0.0
+    return MemeRunResult(
+        shortcuts=shortcuts, n_jobs=n_jobs, completed=len(done),
+        wall_mean=float(walls.mean()) if walls.size else float("nan"),
+        wall_std=float(walls.std()) if walls.size else float("nan"),
+        throughput_jpm=60.0 * len(done) / total if total > 0 else 0.0,
+        histogram=hist, bin_edges=edges, total_wall_clock=total,
+        jobs_per_node=per_node)
+
+
+def run(seed: int = 0, scale: float = 1.0, n_jobs: int = 4000
+        ) -> dict[bool, MemeRunResult]:
+    return {shortcuts: run_one(shortcuts, seed=seed, scale=scale,
+                               n_jobs=n_jobs)
+            for shortcuts in (True, False)}
+
+
+def report(results: dict[bool, MemeRunResult],
+           csv_dir: str | None = None) -> None:
+    on, off = results[True], results[False]
+    print_table(
+        "Figure 8 — PBS/MEME wall-clock distribution",
+        ["metric", "shortcuts enabled", "shortcuts disabled"],
+        [["jobs completed", on.completed, off.completed],
+         ["wall-clock mean (s)", f"{on.wall_mean:.1f}", f"{off.wall_mean:.1f}"],
+         ["wall-clock std (s)", f"{on.wall_std:.1f}", f"{off.wall_std:.1f}"],
+         ["throughput (jobs/min)", f"{on.throughput_jpm:.0f}",
+          f"{off.throughput_jpm:.0f}"],
+         ["total wall clock (s)", f"{on.total_wall_clock:.0f}",
+          f"{off.total_wall_clock:.0f}"]])
+    from repro.experiments.plotting import export_csv
+    print()
+    for label, r in (("shortcuts enabled", on), ("shortcuts disabled", off)):
+        pct = 100.0 * r.histogram / max(1, r.completed)
+        print(f"Fig. 8 ({label}): wall-clock histogram")
+        peak = pct.max() or 1.0
+        for p, lo, hi in zip(pct, r.bin_edges, r.bin_edges[1:]):
+            bar = "█" * int(round(44 * p / peak))
+            print(f"  {lo:3.0f}-{hi:<3.0f}s |{bar:<44} {p:4.1f}%")
+        print()
+    if csv_dir is not None:
+        export_csv(f"{csv_dir}/fig8_histograms.csv",
+                   ("mode", "bin_low_s", "bin_high_s", "fraction"),
+                   [(("enabled" if r.shortcuts else "disabled"), lo, hi,
+                     n / max(1, r.completed))
+                    for r in (on, off)
+                    for n, lo, hi in zip(r.histogram, r.bin_edges,
+                                         r.bin_edges[1:])])
+
+
+def main(seed: int = 0, scale: float = 0.5, n_jobs: int = 600
+         ) -> dict[bool, MemeRunResult]:
+    results = run(seed=seed, scale=scale, n_jobs=n_jobs)
+    report(results)
+    return results
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

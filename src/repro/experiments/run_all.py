@@ -1,0 +1,126 @@
+"""CLI driver: regenerate every table and figure.
+
+Usage::
+
+    wow-experiments --list
+    wow-experiments fig4 table2 --scale 0.5 --seed 1
+    wow-experiments all --full        # paper-scale (slow)
+
+``--full`` runs paper-scale parameters; the default is a reduced but
+shape-preserving configuration suitable for a laptop.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    fig4_join_profile,
+    fig5_regimes,
+    fig6_scp_migration,
+    fig7_pbs_migration,
+    fig8_meme_histogram,
+    join_latency_cdf,
+    table2_bandwidth,
+    table3_fastdnaml,
+)
+from repro.sim.units import MB
+
+EXPERIMENTS = {
+    "fig4": "ICMP RTT/loss profiles during node join (3 site pairs)",
+    "fig5": "dropped-packet regimes during join",
+    "table2": "ttcp bandwidth, shortcuts on/off",
+    "fig6": "SCP transfer across server VM migration",
+    "fig7": "PBS/MEME jobs across worker VM migration",
+    "fig8": "PBS/MEME histograms + throughput, shortcuts on/off",
+    "table3": "fastDNAml-PVM times and speedups",
+    "joincdf": "join latency CDF (300-trial claim)",
+}
+
+
+def _run_one(name: str, full: bool, seed: int, scale: float,
+             csv_dir: str | None = None) -> None:
+    t0 = time.time()
+    if name == "fig4":
+        profiles = fig4_join_profile.run(
+            seed=seed, scale=scale, trials_per_case=10 if full else 3,
+            count=400 if full else 300)
+        fig4_join_profile.report(profiles, csv_dir=csv_dir)
+        fig5_regimes.report(fig5_regimes.summarize(profiles))
+    elif name == "fig5":
+        fig5_regimes.main(seed=seed, scale=scale,
+                          trials=10 if full else 3)
+    elif name == "table2":
+        if full:
+            rows = table2_bandwidth.run(seed=seed, scale=scale)
+        else:
+            rows = table2_bandwidth.run(seed=seed, scale=scale,
+                                        repetitions=2,
+                                        sizes=(MB(50.0), MB(8.0)))
+        table2_bandwidth.report(rows)
+    elif name == "fig6":
+        if full:
+            result = fig6_scp_migration.run(seed=seed, scale=scale)
+        else:
+            result = fig6_scp_migration.run(seed=seed, scale=scale,
+                                            file_size=MB(180.0),
+                                            transfer_size=MB(150.0),
+                                            migrate_at=60.0)
+        fig6_scp_migration.report(result, csv_dir=csv_dir)
+    elif name == "fig7":
+        result = fig7_pbs_migration.run(
+            seed=seed, scale=scale,
+            jobs_before=30 if full else 10,
+            jobs_after=25 if full else 8,
+            transfer_size=None if full else MB(80.0))
+        fig7_pbs_migration.report(result)
+    elif name == "fig8":
+        results = fig8_meme_histogram.run(seed=seed, scale=scale,
+                                          n_jobs=4000 if full else 600)
+        fig8_meme_histogram.report(results, csv_dir=csv_dir)
+    elif name == "table3":
+        rows = table3_fastdnaml.run(seed=seed, scale=scale,
+                                    taxa=None if full else 24)
+        table3_fastdnaml.report(rows)
+    elif name == "joincdf":
+        result = join_latency_cdf.run(seed=seed, scale=scale,
+                                      trials=300 if full else 30)
+        join_latency_cdf.report(result)
+    else:
+        raise SystemExit(f"unknown experiment {name!r}")
+    print(f"[{name} finished in {time.time() - t0:.0f}s wall]")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="wow-experiments",
+        description="Regenerate the WOW paper's tables and figures.")
+    parser.add_argument("names", nargs="*", default=["all"],
+                        help="experiment ids (or 'all')")
+    parser.add_argument("--list", action="store_true",
+                        help="list experiment ids")
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale parameters (slow)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--scale", type=float, default=None,
+                        help="overlay scale (default 0.5, 1.0 with --full)")
+    parser.add_argument("--csv-dir", default=None,
+                        help="export raw series as CSV into this directory")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, desc in EXPERIMENTS.items():
+            print(f"{name:8s} {desc}")
+        return 0
+    names = list(EXPERIMENTS) if args.names in ([], ["all"]) else args.names
+    scale = args.scale if args.scale is not None else \
+        (1.0 if args.full else 0.5)
+    for name in names:
+        _run_one(name, args.full, args.seed, scale, csv_dir=args.csv_dir)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

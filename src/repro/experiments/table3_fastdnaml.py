@@ -1,0 +1,126 @@
+"""Table III: fastDNAml-PVM execution times and parallel speedups.
+
+Five configurations (paper §V-D2, 50-taxa dataset):
+  * sequential on node002 (the most common hardware) — 22272 s
+  * sequential on node034 (slow home machine)       — 45191 s
+  * 15 workers, shortcuts enabled                    —  2439 s ( 9.1×)
+  * 30 workers, shortcuts disabled                   —  2033 s (11.0×)
+  * 30 workers, shortcuts enabled                    —  1642 s (13.6×)
+
+Speedups are relative to node002's sequential time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.fastdnaml import FastDnamlWorkload
+from repro.experiments.common import (
+    ExperimentSetup,
+    make_testbed,
+    print_table,
+    run_until_signal,
+)
+from repro.middleware.pvm import PvmMaster
+from repro.sim.process import Process
+
+
+@dataclass
+class FastDnamlRow:
+    config: str
+    execution_time: float
+    speedup: float | None
+
+
+def sequential_time(cpu_speed: float, seed: int,
+                    taxa: int | None) -> float:
+    """Run the whole task stream on one solo VM.
+
+    Sequential fastDNAml never touches the network, so this uses a
+    dedicated minimal world (one site, one VM, no overlay) — simulating
+    ~22000 s of keep-alive traffic on the full testbed would add minutes
+    of wall time for no fidelity.
+    """
+    from repro.core.config import CalibrationConfig
+    from repro.core.wow import Deployment
+    from repro.sim.engine import Simulator
+
+    sim = Simulator(seed=seed, trace=False)
+    dep = Deployment(sim, calib=CalibrationConfig())
+    if taxa is not None:
+        dep.calib.fastdnaml_taxa = taxa
+    site = dep.add_public_site("solo")
+    vm = dep.create_vm("solo", "172.16.200.2", site, cpu_speed=cpu_speed)
+    workload = FastDnamlWorkload(dep.calib, sim.rng.stream("t3"))
+    t0 = sim.now
+    state = {}
+
+    def seq():
+        for round_tasks in workload.rounds():
+            for task in round_tasks:
+                yield from vm.compute(task.work_ref)
+        state["elapsed"] = sim.now - t0
+
+    proc = Process(sim, seq(), name=f"seq.{vm.name}")
+    if not run_until_signal(sim, proc.done, 4.0e5):  # pragma: no cover
+        raise RuntimeError("sequential run did not finish")
+    return state["elapsed"]
+
+
+def parallel_time(setup: ExperimentSetup, n_workers: int,
+                  workload: FastDnamlWorkload) -> float:
+    """Master on the head node, workers on the first n compute VMs."""
+    sim, tb = setup.sim, setup.testbed
+    master = PvmMaster(tb.head)
+    for vm in tb.workers()[:n_workers]:
+        master.add_worker(vm)
+    done = master.run_rounds(workload.rounds())
+    if not run_until_signal(sim, done, 4.0e5):  # pragma: no cover
+        raise RuntimeError("parallel run did not finish")
+    return float(done.value)
+
+
+def run(seed: int = 0, scale: float = 1.0,
+        taxa: int | None = None) -> list[FastDnamlRow]:
+    rows: list[FastDnamlRow] = []
+
+    def make(shortcuts: bool) -> ExperimentSetup:
+        setup = make_testbed(seed=seed, scale=scale, shortcuts=shortcuts)
+        if taxa is not None:
+            setup.calib.fastdnaml_taxa = taxa
+        return setup
+
+    # sequential runs (network-independent; solo worlds)
+    t_node2 = sequential_time(1.0, seed, taxa)
+    rows.append(FastDnamlRow("sequential node002", t_node2, None))
+    t_node34 = sequential_time(0.493, seed, taxa)
+    rows.append(FastDnamlRow("sequential node034", t_node34, None))
+
+    for config, n_workers, shortcuts in (
+            ("15 nodes, shortcuts", 15, True),
+            ("30 nodes, no shortcuts", 30, False),
+            ("30 nodes, shortcuts", 30, True)):
+        s = make(shortcuts)
+        wl = FastDnamlWorkload(s.calib, s.sim.rng.stream("t3"))
+        elapsed = parallel_time(s, n_workers, wl)
+        rows.append(FastDnamlRow(config, elapsed, t_node2 / elapsed))
+    return rows
+
+
+def report(rows: list[FastDnamlRow]) -> None:
+    print_table(
+        "Table III — fastDNAml-PVM execution times and speedups",
+        ["configuration", "execution time (s)", "speedup vs node002"],
+        [[r.config, f"{r.execution_time:.0f}",
+          f"{r.speedup:.1f}x" if r.speedup else "n/a"] for r in rows])
+
+
+def main(seed: int = 0, scale: float = 0.5, taxa: int = 24
+         ) -> list[FastDnamlRow]:
+    rows = run(seed=seed, scale=scale, taxa=taxa)
+    report(rows)
+    return rows
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

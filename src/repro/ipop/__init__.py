@@ -1,0 +1,27 @@
+"""IPOP: IP-over-P2P virtual networking (paper §III-B, ref [29]).
+
+Gives each WOW node a virtual IP on a private subnet (the paper's
+``172.16.1.x``), deterministically mapped onto the Brunet ring, and tunnels
+IP traffic over the overlay.  Small packets (ICMP, RPC) are simulated
+per-datagram through the real router code; bulk data rides the fluid-flow
+model over the *current* overlay route, re-pathed live as shortcuts form or
+nodes migrate.
+"""
+
+from repro.ipop.ippacket import VirtualIpPacket, IcmpEcho
+from repro.ipop.mapping import addr_for_ip
+from repro.ipop.router import IpopRouter
+from repro.ipop.bandwidth import BandwidthBroker
+from repro.ipop.transfer import OverlayTransfer
+from repro.ipop.icmp import Pinger, PingStats
+
+__all__ = [
+    "VirtualIpPacket",
+    "IcmpEcho",
+    "addr_for_ip",
+    "IpopRouter",
+    "BandwidthBroker",
+    "OverlayTransfer",
+    "Pinger",
+    "PingStats",
+]

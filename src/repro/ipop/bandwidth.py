@@ -1,0 +1,128 @@
+"""BandwidthBroker: maps overlay routes onto fluid-flow resources.
+
+Bulk virtual-network traffic between two ring addresses traverses, for the
+current overlay route:
+
+* each traversed node's *user-level forwarding capacity* — the paper's
+  dominant bottleneck on loaded PlanetLab routers ("the load of machines
+  hosting the intermediate IPOP routers ... reduces the processing
+  throughput of our user-level implementation", §V-B);
+* one LAN resource per intra-site physical hop;
+* one shared WAN resource per site pair crossed.
+
+The broker caches one :class:`Resource` per node/site/pair so concurrent
+transfers share capacity max-min fairly.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.brunet.address import BrunetAddress
+from repro.brunet.routing import trace_route
+from repro.phys.flows import FlowManager, Resource
+from repro.sim.units import MB
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.brunet.node import BrunetNode
+    from repro.sim.engine import Simulator
+
+Resolver = Callable[[BrunetAddress], Optional["BrunetNode"]]
+
+#: default user-level forwarding capacity of an unloaded compute host
+DEFAULT_NODE_CAPACITY = MB(1.6)
+#: default LAN capacity within one site
+DEFAULT_LAN_CAPACITY = MB(4.0)
+#: default WAN capacity between two sites
+DEFAULT_WAN_CAPACITY = MB(2.0)
+
+
+class BandwidthBroker:
+    """Owns the flow manager and the resource caches for one deployment."""
+
+    def __init__(self, sim: "Simulator", resolve: Resolver,
+                 default_lan: float = DEFAULT_LAN_CAPACITY,
+                 default_wan: float = DEFAULT_WAN_CAPACITY):
+        self.sim = sim
+        self.resolve = resolve
+        self.flows = FlowManager(sim)
+        self.default_lan = default_lan
+        self.default_wan = default_wan
+        self._node_res: dict[int, Resource] = {}  # id(node) -> Resource
+        self._lan_res: dict[str, Resource] = {}
+        self._wan_res: dict[frozenset, Resource] = {}
+        self._lan_caps: dict[str, float] = {}
+        self._wan_caps: dict[frozenset, float] = {}
+
+    # -- configuration ------------------------------------------------------
+    def set_lan_capacity(self, site: str, capacity: float) -> None:
+        self._lan_caps[site] = capacity
+        if site in self._lan_res:
+            self._lan_res[site].set_capacity(capacity, self.flows)
+
+    def set_wan_capacity(self, site_a: str, site_b: str,
+                         capacity: float) -> None:
+        key = frozenset((site_a, site_b))
+        self._wan_caps[key] = capacity
+        if key in self._wan_res:
+            self._wan_res[key].set_capacity(capacity, self.flows)
+
+    # -- resources ------------------------------------------------------------
+    def node_resource(self, node: "BrunetNode") -> Resource:
+        res = self._node_res.get(id(node))
+        if res is None:
+            cap = getattr(node.host, "ipop_forward_capacity",
+                          DEFAULT_NODE_CAPACITY)
+            res = Resource(f"ipop.{node.name}", cap)
+            self._node_res[id(node)] = res
+        return res
+
+    def lan_resource(self, site: str) -> Resource:
+        res = self._lan_res.get(site)
+        if res is None:
+            res = Resource(f"lan.{site}",
+                           self._lan_caps.get(site, self.default_lan))
+            self._lan_res[site] = res
+        return res
+
+    def wan_resource(self, site_a: str, site_b: str) -> Resource:
+        key = frozenset((site_a, site_b))
+        res = self._wan_res.get(key)
+        if res is None:
+            res = Resource(f"wan.{site_a}~{site_b}",
+                           self._wan_caps.get(key, self.default_wan))
+            self._wan_res[key] = res
+        return res
+
+    # -- path mapping ------------------------------------------------------------
+    def route_resources(self, src_addr: BrunetAddress,
+                        dst_addr: BrunetAddress
+                        ) -> Optional[tuple[list[Resource], list]]:
+        """Resources along the current overlay route, or None when broken.
+
+        Returns ``(resources, node_path)`` so callers can detect route
+        changes cheaply.
+        """
+        start = self.resolve(src_addr)
+        if start is None or not start.active:
+            return None
+        path = trace_route(start, dst_addr, self.resolve)
+        if path is None:
+            return None
+        resources: list[Resource] = []
+        for node in path:
+            resources.append(self.node_resource(node))
+        for a, b in zip(path, path[1:]):
+            if a.host.site is b.host.site:
+                resources.append(self.lan_resource(a.host.site.name))
+            else:
+                resources.append(self.wan_resource(a.host.site.name,
+                                                   b.host.site.name))
+        # dedupe while preserving order (a pair crossed twice shares once)
+        seen: set[int] = set()
+        unique = []
+        for r in resources:
+            if id(r) not in seen:
+                seen.add(id(r))
+                unique.append(r)
+        return unique, path

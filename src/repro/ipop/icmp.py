@@ -1,0 +1,102 @@
+"""ICMP echo ("ping") over the virtual network.
+
+:class:`Pinger` replays the paper's join experiment workload: N echo
+requests at fixed intervals, recording per-sequence RTT or loss — the raw
+data behind Figs. 4 and 5.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.ipop.ippacket import IcmpEcho, VirtualIpPacket
+from repro.sim.process import Signal
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ipop.router import IpopRouter
+
+
+class PingStats:
+    """Per-sequence outcome of one ping run."""
+
+    def __init__(self, count: int):
+        self.count = count
+        self.rtt = np.full(count, np.nan)  # seconds; NaN = lost
+
+    def record(self, seq: int, rtt: float) -> None:
+        if 0 <= seq < self.count:
+            self.rtt[seq] = rtt
+
+    @property
+    def replied(self) -> np.ndarray:
+        return ~np.isnan(self.rtt)
+
+    def loss_fraction(self, lo: int = 0, hi: Optional[int] = None) -> float:
+        window = self.rtt[lo:hi if hi is not None else self.count]
+        if window.size == 0:
+            return 0.0
+        return float(np.isnan(window).mean())
+
+    def mean_rtt(self, lo: int = 0, hi: Optional[int] = None) -> float:
+        window = self.rtt[lo:hi if hi is not None else self.count]
+        good = window[~np.isnan(window)]
+        return float(good.mean()) if good.size else math.nan
+
+    def first_reply_seq(self) -> Optional[int]:
+        idx = np.flatnonzero(self.replied)
+        return int(idx[0]) if idx.size else None
+
+
+class Pinger:
+    """Sends ICMP echoes from one IPOP router and gathers replies."""
+
+    def __init__(self, router: "IpopRouter"):
+        self.router = router
+        self.sim = router.node.sim
+        router.bind("icmp", 0, self._on_reply)
+        self._stats: Optional[PingStats] = None
+        self._done = None
+        self._target: Optional[str] = None
+        self._timer = None
+
+    def run(self, dst_ip: str, count: int = 400,
+            interval: float = 1.0) -> Signal:
+        """Start a ping run; returns a latched Signal fired with
+        :class:`PingStats` one interval after the last request."""
+        if self._stats is not None and self._done is not None \
+                and not self._done.fired:
+            raise RuntimeError("ping run already in progress")
+        self._stats = PingStats(count)
+        self._target = dst_ip
+        self._done = Signal(self.sim, "ping.done", latch=True)
+        self._send(0, count, interval)
+        return self._done
+
+    def _send(self, seq: int, count: int, interval: float) -> None:
+        if seq >= count:
+            # allow the final reply one more interval to arrive
+            self._timer = self.sim.schedule(interval, self._finish)
+            return
+        echo = IcmpEcho(seq, False, self.sim.now)
+        self.router.send_ip(self._target, "icmp", 0, echo, echo.data_size + 8)
+        self._timer = self.sim.schedule(interval, self._send, seq + 1, count,
+                                        interval)
+
+    def _finish(self) -> None:
+        self._done.fire(self._stats)
+
+    def _on_reply(self, pkt: VirtualIpPacket) -> None:
+        echo = pkt.payload
+        if not isinstance(echo, IcmpEcho) or not echo.is_reply:
+            return
+        if self._stats is not None:
+            self._stats.record(echo.seq, self.sim.now - echo.sent_at)
+
+    def close(self) -> None:
+        """Stop the run and release the ICMP binding."""
+        if self._timer is not None:
+            self._timer.cancel()
+        self.router.unbind("icmp", 0)

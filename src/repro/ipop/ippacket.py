@@ -1,0 +1,32 @@
+"""Virtual IP packets as seen by the tap interface."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass
+class VirtualIpPacket:
+    """One IP packet on the virtual network.
+
+    ``proto`` is "icmp" or "udp"; ``port`` selects the bound handler for
+    UDP.  ``size`` is the on-(virtual-)wire size in bytes.
+    """
+
+    src_ip: str
+    dst_ip: str
+    proto: str
+    port: int
+    payload: Any
+    size: int
+
+
+@dataclass
+class IcmpEcho:
+    """ICMP echo request/reply body."""
+
+    seq: int
+    is_reply: bool
+    sent_at: float
+    data_size: int = 56

@@ -1,0 +1,16 @@
+"""Virtual IP ↔ P2P address mapping.
+
+IPOP statically derives a node's ring position from its virtual IP, so any
+node can resolve any virtual destination without lookups.  (The paper's
+join experiment exploits this: assigning 10 different virtual IPs to node B
+"maps B to different locations on the P2P ring".)
+"""
+
+from __future__ import annotations
+
+from repro.brunet.address import BrunetAddress, address_from_ip
+
+
+def addr_for_ip(virtual_ip: str) -> BrunetAddress:
+    """Ring address that owns ``virtual_ip``."""
+    return address_from_ip(virtual_ip)

@@ -1,0 +1,102 @@
+"""IpopRouter: the user-level tap + encapsulation engine on one WOW node.
+
+Picks virtual-IP packets from the guest, feeds the shortcut overlord's
+traffic inspection, wraps them in :class:`IpEncap` and routes them over the
+overlay; inbound packets are dispatched to bound protocol/port handlers.
+ICMP echo is answered in the router itself (the "kernel" of the guest).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.brunet.messages import IpEncap
+from repro.ipop.ippacket import IcmpEcho, VirtualIpPacket
+from repro.ipop.mapping import addr_for_ip
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.brunet.node import BrunetNode
+
+Handler = Callable[[VirtualIpPacket], None]
+
+IP_HEADER = 28  # IP + UDP header bytes on the virtual wire
+
+
+class IpopRouter:
+    """Virtual NIC + IP-over-P2P encapsulation for one node."""
+
+    def __init__(self, node: "BrunetNode", virtual_ip: str):
+        self.node = node
+        self.virtual_ip = virtual_ip
+        self.addr = addr_for_ip(virtual_ip)
+        if node.addr != self.addr:
+            raise ValueError(
+                f"node address {node.addr!r} does not own {virtual_ip}")
+        self._handlers: dict[tuple[str, int], Handler] = {}
+        self.packets_out = 0
+        self.packets_in = 0
+        node.ip_handler = self._on_encap
+
+    # -- guest-facing API -------------------------------------------------
+    def bind(self, proto: str, port: int, handler: Handler) -> None:
+        """Register a guest handler for inbound (proto, port) packets."""
+        key = (proto, port)
+        if key in self._handlers:
+            raise ValueError(f"{self.virtual_ip}: {proto}/{port} already bound")
+        self._handlers[key] = handler
+
+    def unbind(self, proto: str, port: int) -> None:
+        """Remove a guest handler (idempotent)."""
+        self._handlers.pop((proto, port), None)
+
+    def send_ip(self, dst_ip: str, proto: str, port: int, payload: Any,
+                size: int) -> None:
+        """Send one virtual-IP packet (fire and forget, like real IP)."""
+        pkt = VirtualIpPacket(self.virtual_ip, dst_ip, proto, port, payload,
+                              size + IP_HEADER)
+        self._transmit(pkt)
+
+    def _transmit(self, pkt: VirtualIpPacket) -> None:
+        dest_addr = addr_for_ip(pkt.dst_ip)
+        self.packets_out += 1
+        self.node.inspect_traffic(dest_addr)
+        self.node.send_routed(dest_addr, IpEncap(pkt, pkt.size),
+                              size=pkt.size, exact=True)
+
+    # -- overlay-facing ----------------------------------------------------
+    def _on_encap(self, encap: IpEncap) -> None:
+        pkt = encap.payload
+        if not isinstance(pkt, VirtualIpPacket) or pkt.dst_ip != self.virtual_ip:
+            self.node.stats["ip_misdelivered"] += 1
+            return
+        self.packets_in += 1
+        if pkt.proto == "icmp":
+            self._on_icmp(pkt)
+            return
+        handler = self._handlers.get((pkt.proto, pkt.port))
+        if handler is not None:
+            handler(pkt)
+        else:
+            self.node.stats["ip_port_unreachable"] += 1
+
+    def _on_icmp(self, pkt: VirtualIpPacket) -> None:
+        echo = pkt.payload
+        if isinstance(echo, IcmpEcho) and not echo.is_reply:
+            reply = IcmpEcho(echo.seq, True, echo.sent_at, echo.data_size)
+            self.send_ip(pkt.src_ip, "icmp", 0, reply, echo.data_size + 8)
+        else:
+            handler = self._handlers.get(("icmp", 0))
+            if handler is not None:
+                handler(pkt)
+
+    def detach(self) -> None:
+        """Disconnect from the node (used on IPOP restart/migration)."""
+        if self.node.ip_handler is self._on_encap:
+            self.node.ip_handler = None
+
+    def attach(self, node: "BrunetNode") -> None:
+        """Re-attach the tap to a fresh node instance (same address)."""
+        if node.addr != self.addr:
+            raise ValueError("re-attach requires the same ring address")
+        self.node = node
+        node.ip_handler = self._on_encap

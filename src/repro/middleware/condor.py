@@ -1,0 +1,229 @@
+"""A Condor-style opportunistic pool on a WOW (paper §I/§III motivation).
+
+"A base WOW VM image can be installed with Condor binaries and be quickly
+replicated across multiple sites to host a homogeneously configured
+distributed Condor pool."  This is a compact model of that middleware
+stack running unmodified over the virtual network:
+
+* **StartD** — per-worker daemon advertising a machine ClassAd (CPU speed,
+  site, state) to the collector and running matched jobs;
+* **Collector/Negotiator** — receives ads (soft state), matches queued
+  jobs against machine ads by a requirements predicate, and hands claims
+  to the submitter;
+* **SchedD** — the submit-side queue.
+
+ClassAds are plain dicts; requirements are predicates over them, which
+captures the matchmaking semantics without a parser.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.middleware.rpc import RpcClient, RpcFailure, RpcServer
+from repro.sim.process import Process, Signal, Timeout, WaitSignal
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vm.machine import WowVm
+
+COLLECTOR_PORT = 9618
+STARTD_PORT = 9619
+
+_job_ids = itertools.count(1)
+
+Requirements = Callable[[dict], bool]
+
+
+@dataclass
+class CondorJob:
+    """One queued job: compute cost + a requirements predicate."""
+
+    work_ref: float
+    requirements: Optional[Requirements] = None
+    job_id: int = field(default_factory=lambda: next(_job_ids))
+    submitted_at: float = 0.0
+    matched_machine: str = ""
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    def matches(self, machine_ad: dict) -> bool:
+        """Evaluate the job's requirements against a machine ClassAd."""
+        if self.requirements is None:
+            return True
+        return bool(self.requirements(machine_ad))
+
+
+class CondorStartD:
+    """Worker daemon: advertises the machine, executes claimed jobs."""
+
+    AD_INTERVAL = 30.0
+
+    def __init__(self, vm: "WowVm", collector_ip: str):
+        self.vm = vm
+        self.sim = vm.sim
+        self.collector_ip = collector_ip
+        self.state = "Unclaimed"
+        self.rpc_server = RpcServer(vm, STARTD_PORT, self._handle,
+                                    cpu_per_request=0.004)
+        self.rpc = RpcClient(vm)
+        self.jobs_run = 0
+        self._stopped = False
+        self._advertise()
+
+    def machine_ad(self) -> dict:
+        """This machine's ClassAd as currently advertised."""
+        return {
+            "Name": self.vm.name,
+            "Ip": self.vm.virtual_ip,
+            "CpuSpeed": self.vm.cpu_speed,
+            "Site": self.vm.host.site.name,
+            "State": self.state,
+        }
+
+    def _advertise(self) -> None:
+        if self._stopped:
+            return
+        self.rpc.call(self.collector_ip, COLLECTOR_PORT, "advertise",
+                      self.machine_ad())
+        self.sim.schedule(self.AD_INTERVAL, self._advertise)
+
+    def _handle(self, method: str, body, src_ip: str):
+        if method == "claim":
+            if self.state != "Unclaimed":
+                return {"claimed": False}
+            self.state = "Claimed"
+            job = body["job"]
+            Process(self.sim, self._execute(job, body["schedd_ip"]),
+                    name=f"startd.{self.vm.name}.j{job.job_id}")
+            return {"claimed": True}
+        return {"error": "bad method"}
+
+    def _execute(self, job: CondorJob, schedd_ip: str):
+        self.state = "Busy"
+        yield from self.vm.compute(job.work_ref)
+        self.jobs_run += 1
+        self.state = "Unclaimed"
+        done = self.rpc.call(schedd_ip, COLLECTOR_PORT + 2, "job_done",
+                             {"job_id": job.job_id,
+                              "machine": self.vm.name}, retries=20)
+        yield WaitSignal(done)
+
+    def stop(self) -> None:
+        """Kill the daemon: stop advertising and serving claims."""
+        self._stopped = True
+        self.rpc_server.close()
+        self.rpc.close()
+
+
+class CondorCollector:
+    """Collector + negotiator on one VM (typically the head node)."""
+
+    AD_TTL = 90.0
+    NEGOTIATE_INTERVAL = 5.0
+
+    def __init__(self, vm: "WowVm"):
+        self.vm = vm
+        self.sim = vm.sim
+        self.machines: dict[str, tuple[dict, float]] = {}  # name → (ad, t)
+        self.schedds: list["CondorSchedD"] = []
+        self.rpc_server = RpcServer(vm, COLLECTOR_PORT, self._handle,
+                                    cpu_per_request=0.004)
+        self.rpc = RpcClient(vm)
+        self.matches_made = 0
+        Process(self.sim, self._negotiator(), name="condor.negotiator")
+
+    def _handle(self, method: str, body, src_ip: str):
+        if method == "advertise":
+            self.machines[body["Name"]] = (body, self.sim.now)
+            return {"ok": True}
+        return {"error": "bad method"}
+
+    def live_ads(self) -> list[dict]:
+        """Machine ads younger than the soft-state TTL."""
+        now = self.sim.now
+        return [ad for ad, t in self.machines.values()
+                if now - t <= self.AD_TTL]
+
+    def register_schedd(self, schedd: "CondorSchedD") -> None:
+        """Let the negotiator serve this submitter's queue."""
+        self.schedds.append(schedd)
+
+    def _negotiator(self):
+        while True:
+            yield Timeout(self.NEGOTIATE_INTERVAL)
+            for schedd in self.schedds:
+                job = schedd.peek()
+                if job is None:
+                    continue
+                candidates = [ad for ad in self.live_ads()
+                              if ad["State"] == "Unclaimed"
+                              and job.matches(ad)]
+                if not candidates:
+                    continue
+                # rank: fastest machine first (Condor's RANK default here)
+                best = max(candidates, key=lambda ad: ad["CpuSpeed"])
+                resp = yield WaitSignal(self.rpc.call(
+                    best["Ip"], STARTD_PORT, "claim",
+                    {"job": job, "schedd_ip": schedd.vm.virtual_ip}))
+                if isinstance(resp, RpcFailure) or not resp.get("claimed"):
+                    # stale ad; drop it and retry next cycle
+                    self.machines.pop(best["Name"], None)
+                    continue
+                self.machines[best["Name"]] = (
+                    dict(best, State="Claimed"), self.sim.now)
+                schedd.mark_matched(job, best["Name"])
+                self.matches_made += 1
+
+
+class CondorSchedD:
+    """Submit-side queue on one VM."""
+
+    def __init__(self, vm: "WowVm", collector: CondorCollector):
+        self.vm = vm
+        self.sim = vm.sim
+        self.queue: deque[CondorJob] = deque()
+        self.running: dict[int, CondorJob] = {}
+        self.completed: list[CondorJob] = []
+        self.all_done = Signal(self.sim, "condor.all_done")
+        self._expected: Optional[int] = None
+        self.rpc_server = RpcServer(vm, COLLECTOR_PORT + 2, self._handle,
+                                    cpu_per_request=0.004)
+        collector.register_schedd(self)
+
+    def submit(self, job: CondorJob) -> CondorJob:
+        """Queue a job for matchmaking."""
+        job.submitted_at = self.sim.now
+        self.queue.append(job)
+        return job
+
+    def expect(self, n: int) -> Signal:
+        """``all_done`` fires once ``n`` jobs have completed."""
+        self._expected = n
+        return self.all_done
+
+    def peek(self) -> Optional[CondorJob]:
+        """Head of the queue (what the negotiator matches next)."""
+        return self.queue[0] if self.queue else None
+
+    def mark_matched(self, job: CondorJob, machine: str) -> None:
+        """Negotiator callback: the job was claimed by ``machine``."""
+        if self.queue and self.queue[0] is job:
+            self.queue.popleft()
+        job.matched_machine = machine
+        job.started_at = self.sim.now
+        self.running[job.job_id] = job
+
+    def _handle(self, method: str, body, src_ip: str):
+        if method == "job_done":
+            job = self.running.pop(body["job_id"], None)
+            if job is not None:
+                job.finished_at = self.sim.now
+                self.completed.append(job)
+                if self._expected is not None and \
+                        len(self.completed) >= self._expected:
+                    self.all_done.fire(len(self.completed))
+            return {"ok": True}
+        return {"error": "bad method"}

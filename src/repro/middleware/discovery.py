@@ -1,0 +1,120 @@
+"""Decentralized resource discovery and scheduling (paper §VI future work).
+
+Every WOW node periodically **advertises** its resources (CPU speed, free
+slots, site) into the ring DHT under coarse *capability keys* ("cpu-fast",
+"slots-free", site names).  A decentralized scheduler on any node can then
+**discover** candidate workers and claim slots without a central server —
+the direction the paper sketches as the fix for client/server middleware
+("may not scale to the same large numbers", §VI).
+
+The advertisement is soft state: entries expire unless re-published, so a
+crashed node's resources disappear from the index by themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.brunet.dht import DhtNode, DhtReply
+from repro.sim.process import Signal, WaitSignal
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vm.machine import WowVm
+
+#: CPU-speed class boundaries for capability keys
+FAST_CPU = 1.2
+SLOW_CPU = 0.7
+
+
+@dataclass
+class ResourceAd:
+    """One node's advertisement."""
+
+    vm_name: str
+    virtual_ip: str
+    cpu_speed: float
+    free_slots: int
+    site: str
+
+    def capability_keys(self) -> list[str]:
+        """The DHT keys this advertisement is indexed under."""
+        keys = [f"site:{self.site}", "workers:any"]
+        if self.cpu_speed >= FAST_CPU:
+            keys.append("cpu:fast")
+        elif self.cpu_speed <= SLOW_CPU:
+            keys.append("cpu:slow")
+        else:
+            keys.append("cpu:standard")
+        if self.free_slots > 0:
+            keys.append("slots:free")
+        return keys
+
+
+class ResourcePublisher:
+    """Periodically advertises one VM's resources into the DHT."""
+
+    def __init__(self, vm: "WowVm", free_slots: int = 1,
+                 period: float = 45.0, ttl: float = 120.0):
+        self.vm = vm
+        self.sim = vm.sim
+        self.free_slots = free_slots
+        self.period = period
+        self.ttl = ttl
+        self.dht = getattr(vm.node, "dht", None) or DhtNode(vm.node)
+        self.publishes = 0
+        self._stopped = False
+        self._tick()
+
+    def ad(self) -> ResourceAd:
+        """The advertisement reflecting current state."""
+        return ResourceAd(self.vm.name, self.vm.virtual_ip,
+                          self.vm.cpu_speed, self.free_slots,
+                          self.vm.host.site.name)
+
+    def _tick(self) -> None:
+        if self._stopped or not self.vm.node.active:
+            return
+        ad = self.ad()
+        for key in ad.capability_keys():
+            self.dht.put(key, (ad.vm_name, ad.virtual_ip, ad.cpu_speed),
+                         ttl=self.ttl)
+        self.publishes += 1
+        self.sim.schedule(self.period, self._tick)
+
+    def set_free_slots(self, n: int) -> None:
+        """Update the advertised free-slot count (next publish)."""
+        self.free_slots = n
+
+    def stop(self) -> None:
+        """Stop republishing; existing entries age out via TTL."""
+        self._stopped = True
+
+
+class ResourceDiscovery:
+    """Query side: find workers by capability, no central index."""
+
+    def __init__(self, vm: "WowVm"):
+        self.vm = vm
+        self.sim = vm.sim
+        self.dht = getattr(vm.node, "dht", None) or DhtNode(vm.node)
+
+    def find(self, key: str, timeout: float = 5.0) -> Signal:
+        """Latched Signal fired with a list of (name, ip, speed) tuples
+        (empty on miss/timeout)."""
+        result = Signal(self.sim, f"discover.{key}", latch=True)
+        done = self.dht.get(key)
+
+        def on_reply(reply) -> None:
+            if isinstance(reply, DhtReply):
+                result.fire(list(reply.values))
+
+        done.wait_callback(on_reply)
+        self.sim.schedule(timeout, lambda: result.fire([])
+                          if not result.fired else None)
+        return result
+
+    def find_and_rank(self, key: str, timeout: float = 5.0):
+        """Generator: discover workers under ``key``, fastest CPU first."""
+        found = yield WaitSignal(self.find(key, timeout))
+        return sorted(found or [], key=lambda t: -t[2])

@@ -1,0 +1,117 @@
+"""NFSv3-style network file system over the virtual network.
+
+Reads/writes are one metadata RPC (which doubles as an RTT probe) plus a
+bulk transfer whose rate is capped at ``window / RTT`` — the synchronous
+windowed behaviour that makes NFS so sensitive to the multi-hop overlay
+paths shortcuts eliminate.  The PBS/MEME jobs of Fig. 8 stage all input and
+output through an NFS export on the head node (§V-D1).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.ipop.mapping import addr_for_ip
+from repro.ipop.transfer import OverlayTransfer
+from repro.middleware.rpc import RpcClient, RpcFailure, RpcServer
+from repro.sim.process import WaitSignal
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vm.machine import WowVm
+
+NFS_PORT = 2049
+
+
+class NfsServer:
+    """Exports a directory of (name → size) files from one VM."""
+
+    def __init__(self, vm: "WowVm"):
+        self.vm = vm
+        self.files: dict[str, float] = {}
+        self.rpc = RpcServer(vm, NFS_PORT, self._handle,
+                             cpu_per_request=0.003)
+        self.reads = 0
+        self.writes = 0
+
+    def export(self, name: str, size: float) -> None:
+        """Publish a file of ``size`` bytes under ``name``."""
+        self.files[name] = size
+
+    def _handle(self, method: str, body, src_ip: str):
+        if method == "getattr":
+            self.reads += 1
+            size = self.files.get(body)
+            return {"exists": size is not None, "size": size}
+        if method == "create":
+            return {"ok": True}
+        if method == "commit":
+            self.writes += 1
+            name, size = body
+            self.files[name] = size
+            return {"ok": True}
+        return {"error": f"bad method {method}"}
+
+    def close(self) -> None:
+        """Stop serving."""
+        self.rpc.close()
+
+
+class NfsClient:
+    """Mounts a remote export; read/write are process generators."""
+
+    def __init__(self, vm: "WowVm", server_ip: str):
+        self.vm = vm
+        self.server_ip = server_ip
+        self.server_addr = addr_for_ip(server_ip)
+        self.rpc = RpcClient(vm)
+        self.calib = vm.deployment.calib
+        self.transfers = 0
+
+    def _rate_cap(self, rtt: float) -> float:
+        return self.calib.nfs_window / max(rtt, 1e-4)
+
+    def read(self, name: str, size: Optional[float] = None):
+        """Generator: fetch ``name`` from the server.  Returns bytes read
+        (0.0 on failure)."""
+        done = self.rpc.call(self.server_ip, NFS_PORT, "getattr", name)
+        t0 = self.vm.sim.now
+        resp = yield WaitSignal(done)
+        if isinstance(resp, RpcFailure) or not resp.get("exists"):
+            return 0.0
+        rtt = self.vm.sim.now - t0
+        size = resp["size"] if size is None else size
+        self.transfers += 1
+        xfer = OverlayTransfer(
+            self.vm.deployment.broker, self.server_addr, self.vm.addr,
+            size / self.calib.nfs_efficiency,
+            name=f"nfs.read.{self.vm.name}.{self.transfers}",
+            rate_cap=self._rate_cap(rtt))
+        yield WaitSignal(xfer.done)
+        return size
+
+    def write(self, name: str, size: float):
+        """Generator: push ``name`` to the server.  Returns bytes written
+        (0.0 on failure)."""
+        done = self.rpc.call(self.server_ip, NFS_PORT, "create", name)
+        t0 = self.vm.sim.now
+        resp = yield WaitSignal(done)
+        if isinstance(resp, RpcFailure):
+            return 0.0
+        rtt = self.vm.sim.now - t0
+        self.transfers += 1
+        xfer = OverlayTransfer(
+            self.vm.deployment.broker, self.vm.addr, self.server_addr,
+            size / self.calib.nfs_efficiency,
+            name=f"nfs.write.{self.vm.name}.{self.transfers}",
+            rate_cap=self._rate_cap(rtt))
+        yield WaitSignal(xfer.done)
+        commit = self.rpc.call(self.server_ip, NFS_PORT, "commit",
+                               (name, size))
+        resp = yield WaitSignal(commit)
+        if isinstance(resp, RpcFailure):
+            return 0.0
+        return size
+
+    def close(self) -> None:
+        """Unmount: release the RPC reply port."""
+        self.rpc.close()

@@ -1,0 +1,14 @@
+"""OpenPBS-style batch system (the Fig. 7/8 workload).
+
+:class:`PbsServer` is the head node: a FIFO queue, a single-threaded
+scheduler whose per-job dispatch performs a chain of synchronous RPCs to
+the worker's MOM, and completion bookkeeping.  :class:`PbsMom` executes
+jobs on a worker VM: stage input over NFS, compute, write output over NFS,
+report completion.
+"""
+
+from repro.middleware.pbs.job import JobRecord, JobSpec
+from repro.middleware.pbs.server import PbsServer
+from repro.middleware.pbs.mom import PbsMom
+
+__all__ = ["JobSpec", "JobRecord", "PbsServer", "PbsMom"]

@@ -1,0 +1,177 @@
+"""PVM master/worker runtime (the Table III workload).
+
+fastDNAml-PVM "is based on a master-workers model, where the master
+maintains a task pool and dispatches tasks to workers dynamically" and
+"needs to synchronize many times during its execution, to select the best
+tree at each round" (§V-D2).  Task and result messages are bulk transfers
+over the live overlay route, so the master's fan-out funnels through its
+few overlay neighbours (slow PlanetLab routers) until shortcuts form —
+the mechanism behind the 24% no-shortcut penalty.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.ipop.transfer import OverlayTransfer
+from repro.middleware.rpc import RpcClient, RpcServer
+from repro.sim.process import Process, Signal, Timeout, WaitSignal
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vm.machine import WowVm
+
+_task_ids = itertools.count(1)
+
+PVM_DAEMON_PORT = 15010
+
+
+@dataclass
+class PvmTask:
+    """One unit of master-dispatched work."""
+
+    work_ref: float
+    send_size: float
+    recv_size: float
+    task_id: int = field(default_factory=lambda: next(_task_ids))
+    result: Optional[float] = None  # e.g. a tree log-likelihood
+    worker: str = ""
+    dispatched_at: float = 0.0
+    completed_at: float = 0.0
+
+
+class PvmWorker:
+    """Worker daemon: computes tasks pushed over the overlay.
+
+    The pvmd answers the master's blocking-send acknowledgements — PVM
+    messages ride TCP, so every ``pvm_send`` costs the master a round trip
+    on the live virtual-network path."""
+
+    def __init__(self, vm: "WowVm", master: "PvmMaster"):
+        self.vm = vm
+        self.master = master
+        self.busy = False
+        self.tasks_done = 0
+        try:
+            self.rpc_server = RpcServer(vm, PVM_DAEMON_PORT,
+                                        lambda m, b, s: {"ack": b},
+                                        cpu_per_request=0.002)
+        except ValueError:
+            # one pvmd per VM: a worker enrolled in an earlier master run
+            # already bound the daemon port, and its ack handler serves
+            # every master
+            self.rpc_server = None
+
+    def deliver(self, task: PvmTask) -> None:
+        """Called when the task message has fully arrived."""
+        self.busy = True
+        Process(self.vm.sim, self._execute(task),
+                name=f"pvm.{self.vm.name}.t{task.task_id}")
+
+    def _execute(self, task: PvmTask):
+        overhead = getattr(self.vm.deployment.calib, "pvm_task_overhead", 0.0)
+        yield from self.vm.compute(task.work_ref + overhead)
+        # ship the result back to the master over the overlay
+        xfer = OverlayTransfer(self.vm.deployment.broker, self.vm.addr,
+                               self.master.vm.addr, task.recv_size,
+                               name=f"pvm.result.{task.task_id}")
+        yield WaitSignal(xfer.done)
+        self.busy = False
+        self.tasks_done += 1
+        self.master.on_result(task, self)
+
+
+class PvmMaster:
+    """Master daemon: owns the task pool and the per-round barrier."""
+
+    def __init__(self, vm: "WowVm"):
+        self.vm = vm
+        self.sim = vm.sim
+        self.calib = vm.deployment.calib
+        self.workers: list[PvmWorker] = []
+        self._idle: list[PvmWorker] = []
+        self._pool: list[PvmTask] = []
+        self._outstanding = 0
+        self._wake = Signal(self.sim, "pvm.wake")
+        self.rpc = RpcClient(vm)
+        self.round_times: list[float] = []
+        self.results: list[PvmTask] = []
+
+    def add_worker(self, vm: "WowVm") -> PvmWorker:
+        """Enrol a VM in the worker pool."""
+        worker = PvmWorker(vm, self)
+        self.workers.append(worker)
+        self._idle.append(worker)
+        return worker
+
+    # ------------------------------------------------------------------
+    def run_rounds(self, rounds: list[list[PvmTask]],
+                   round_overhead: float | None = None) -> Signal:
+        """Execute rounds with a synchronisation barrier after each;
+        returns a latched Signal fired with the total elapsed time.
+
+        ``round_overhead`` (default from the calibration config) covers the
+        master's per-round best-tree selection and result broadcast."""
+        if round_overhead is None:
+            round_overhead = getattr(self.calib, "pvm_round_overhead", 0.2)
+        done = Signal(self.sim, "pvm.done", latch=True)
+        Process(self.sim, self._run(rounds, round_overhead, done),
+                name="pvm.master")
+        return done
+
+    def _run(self, rounds: list[list[PvmTask]], round_overhead: float,
+             done: Signal):
+        started = self.sim.now
+        for tasks in rounds:
+            round_start = self.sim.now
+            self._pool = list(tasks)
+            self._outstanding = 0
+            while self._pool or self._outstanding:
+                while self._pool and self._idle:
+                    task = self._pool.pop(0)
+                    worker = self._idle.pop(0)
+                    # master CPU per dispatch
+                    yield Timeout(self.vm.host.compute_time(
+                        self.calib.pvm_master_cpu))
+                    self._dispatch(task, worker)
+                    # blocking send: pvm_send over TCP costs the master a
+                    # round trip to the pvmd before the next dispatch —
+                    # this is where no-shortcut multi-hop RTTs bite
+                    yield WaitSignal(self.rpc.call(
+                        worker.vm.virtual_ip, PVM_DAEMON_PORT,
+                        "task_ready", task.task_id))
+                if self._pool or self._outstanding:
+                    yield WaitSignal(self._wake)
+            # barrier reached: select the best tree…
+            yield Timeout(self.vm.host.compute_time(round_overhead))
+            # …and broadcast it: pvm_mcast is a loop of blocking TCP sends,
+            # one per worker, each riding the live overlay path — the
+            # "synchronize many times during its execution" cost of §V-D2
+            bcast = getattr(self.calib, "pvm_broadcast_size", 0.0)
+            if bcast > 0:
+                for worker in self.workers:
+                    xfer = OverlayTransfer(
+                        self.vm.deployment.broker, self.vm.addr,
+                        worker.vm.addr, bcast,
+                        name=f"pvm.bcast.{len(self.round_times)}")
+                    yield WaitSignal(xfer.done)
+            self.round_times.append(self.sim.now - round_start)
+        done.fire(self.sim.now - started)
+
+    def _dispatch(self, task: PvmTask, worker: PvmWorker) -> None:
+        self._outstanding += 1
+        task.worker = worker.vm.name
+        task.dispatched_at = self.sim.now
+        xfer = OverlayTransfer(self.vm.deployment.broker, self.vm.addr,
+                               worker.vm.addr, task.send_size,
+                               name=f"pvm.task.{task.task_id}",
+                               on_complete=lambda _x: worker.deliver(task))
+
+    def on_result(self, task: PvmTask, worker: PvmWorker) -> None:
+        """Worker callback: a task's result message has fully arrived."""
+        task.completed_at = self.sim.now
+        self.results.append(task)
+        self._outstanding -= 1
+        self._idle.append(worker)
+        self._wake.fire()

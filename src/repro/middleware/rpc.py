@@ -1,0 +1,228 @@
+"""Reliable request/response RPC over the virtual network.
+
+Middleware protocols (PBS, NFS control traffic) are modelled as synchronous
+RPCs over virtual UDP with timeout/retransmit — the reliability the real
+systems get from TCP.  Requests are idempotent at the server via a
+response cache keyed by request id, so retransmits after a migration outage
+do not double-execute handlers.
+
+Servers can be **single-threaded** (``serialize=True``): requests queue and
+are served in arrival order, each consuming server CPU — this is the PBS
+head-node bottleneck the paper blames for the no-shortcut throughput
+collapse ("the use of shortcuts also reduced queuing delays in the PBS head
+node", §V-D1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.ipop.ippacket import VirtualIpPacket
+from repro.sim.process import Process, Signal, Timeout, WaitSignal
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vm.machine import WowVm
+
+_rid_counter = itertools.count(1)
+
+
+class RpcFailure:
+    """Sentinel fired when a call exhausts its retries."""
+
+    def __init__(self, reason: str = "timeout"):
+        self.reason = reason
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<RpcFailure {self.reason}>"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+@dataclass
+class RpcRequest:
+    """One call on the wire; ``rid`` matches retransmits and replies."""
+
+    rid: int
+    method: str
+    body: Any
+    reply_port: int
+    reply_ip: str
+
+
+@dataclass
+class RpcResponse:
+    """Server answer, addressed back to the caller's reply port."""
+
+    rid: int
+    body: Any
+
+
+#: handler return type: plain body, or (body, response_size_bytes)
+Handler = Callable[[str, Any, str], Any]
+
+DEFAULT_REQUEST_SIZE = 256
+DEFAULT_RESPONSE_SIZE = 256
+RESPONSE_CACHE_SIZE = 512
+
+
+class RpcServer:
+    """Serves RPCs on one virtual UDP port."""
+
+    def __init__(self, vm: "WowVm", port: int, handler: Handler,
+                 cpu_per_request: float = 0.002, serialize: bool = False):
+        self.vm = vm
+        self.sim = vm.sim
+        self.port = port
+        self.handler = handler
+        self.cpu_per_request = cpu_per_request
+        self.serialize = serialize
+        self.requests_served = 0
+        self._cache: OrderedDict[int, tuple[Any, int]] = OrderedDict()
+        self._queue: deque[tuple[RpcRequest, str]] = deque()
+        self._wake = Signal(self.sim, f"rpc{port}.wake")
+        vm.router.bind("udp", port, self._on_packet)
+        if serialize:
+            Process(self.sim, self._serve_loop(), name=f"rpcserver.{port}")
+
+    def close(self) -> None:
+        """Unbind the service port."""
+        self.vm.router.unbind("udp", self.port)
+
+    # ------------------------------------------------------------------
+    def _on_packet(self, pkt: VirtualIpPacket) -> None:
+        req = pkt.payload
+        if not isinstance(req, RpcRequest):
+            return
+        cached = self._cache.get(req.rid)
+        if cached is not None:
+            body, size = cached
+            self._respond(req, body, size)
+            return
+        if self.serialize:
+            self._queue.append((req, pkt.src_ip))
+            self._wake.fire()
+        else:
+            delay = self.vm.host.compute_time(self.cpu_per_request)
+            self.sim.schedule(delay, self._handle, req, pkt.src_ip)
+
+    def _serve_loop(self):
+        while True:
+            if not self._queue:
+                yield WaitSignal(self._wake)
+                continue
+            req, src_ip = self._queue.popleft()
+            if self._cache.get(req.rid) is not None:
+                continue
+            yield Timeout(self.vm.host.compute_time(self.cpu_per_request))
+            self._handle(req, src_ip)
+
+    def _handle(self, req: RpcRequest, src_ip: str) -> None:
+        if req.rid in self._cache:
+            return
+        self.requests_served += 1
+        result = self.handler(req.method, req.body, src_ip)
+        if isinstance(result, tuple):
+            body, size = result
+        else:
+            body, size = result, DEFAULT_RESPONSE_SIZE
+        self._cache[req.rid] = (body, size)
+        while len(self._cache) > RESPONSE_CACHE_SIZE:
+            self._cache.popitem(last=False)
+        self._respond(req, body, size)
+
+    def _respond(self, req: RpcRequest, body: Any, size: int) -> None:
+        if not self.vm.started or self.vm.suspended:
+            return
+        self.vm.router.send_ip(req.reply_ip, "udp", req.reply_port,
+                               RpcResponse(req.rid, body), size)
+
+
+class RpcClient:
+    """Issues reliable calls from one VM."""
+
+    def __init__(self, vm: "WowVm", reply_port: Optional[int] = None):
+        self.vm = vm
+        self.sim = vm.sim
+        calib = vm.deployment.calib
+        self.timeout = calib.rpc_timeout
+        self.retries = calib.rpc_retries
+        self.backoff = calib.rpc_backoff
+        self.reply_port = reply_port if reply_port is not None else 16000
+        while True:
+            try:
+                vm.router.bind("udp", self.reply_port, self._on_packet)
+                break
+            except ValueError:
+                self.reply_port += 1
+        self._pending: dict[int, dict] = {}
+        self.timeouts = 0
+        self.calls = 0
+
+    def close(self) -> None:
+        """Unbind the reply port; outstanding calls will time out."""
+        self.vm.router.unbind("udp", self.reply_port)
+
+    # ------------------------------------------------------------------
+    def call(self, dst_ip: str, port: int, method: str, body: Any = None,
+             size: int = DEFAULT_REQUEST_SIZE,
+             timeout: Optional[float] = None,
+             retries: Optional[int] = None) -> Signal:
+        """Returns a latched Signal fired with the response body, or with
+        an :class:`RpcFailure` after all retries are spent."""
+        rid = next(_rid_counter)
+        self.calls += 1
+        done = Signal(self.sim, f"rpc.{method}.{rid}", latch=True)
+        state = {
+            "req": RpcRequest(rid, method, body, self.reply_port,
+                              self.vm.virtual_ip),
+            "dst_ip": dst_ip, "port": port, "size": size,
+            "attempts_left": (retries if retries is not None
+                              else self.retries),
+            "interval": timeout if timeout is not None else self.timeout,
+            "done": done, "timer": None, "started": self.sim.now,
+        }
+        self._pending[rid] = state
+        self._transmit(state)
+        return done
+
+    def call_and_wait(self, *args, **kwargs):
+        """Convenience for processes: ``resp = yield from client.call_and_wait(...)``."""
+        done = self.call(*args, **kwargs)
+        resp = yield WaitSignal(done)
+        return resp
+
+    # ------------------------------------------------------------------
+    def _transmit(self, state: dict) -> None:
+        rid = state["req"].rid
+        if rid not in self._pending:
+            return
+        if state["attempts_left"] <= 0:
+            self._pending.pop(rid, None)
+            self.timeouts += 1
+            self.sim.trace("rpc.failure", method=state["req"].method,
+                           dst=state["dst_ip"])
+            state["done"].fire(RpcFailure())
+            return
+        state["attempts_left"] -= 1
+        if self.vm.started and not self.vm.suspended:
+            self.vm.router.send_ip(state["dst_ip"], "udp", state["port"],
+                                   state["req"], state["size"])
+        state["timer"] = self.sim.schedule(state["interval"], self._transmit,
+                                           state)
+        state["interval"] *= self.backoff
+
+    def _on_packet(self, pkt: VirtualIpPacket) -> None:
+        resp = pkt.payload
+        if not isinstance(resp, RpcResponse):
+            return
+        state = self._pending.pop(resp.rid, None)
+        if state is None:
+            return  # duplicate response
+        if state["timer"] is not None:
+            state["timer"].cancel()
+        state["rtt"] = self.sim.now - state["started"]
+        state["done"].fire(resp.body)

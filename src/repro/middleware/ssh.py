@@ -1,0 +1,84 @@
+"""SSH/SCP file transfer (the Fig. 6 workload).
+
+An SCP download is a session-setup RPC followed by a streaming transfer.
+TCP (and SCP above it) tolerates the connectivity outage of a server
+migration: the transfer stalls while the route is broken and resumes when
+the server's IPOP node rejoins — "the SCP file transfer resumed from the
+point it had stalled" (§V-C1).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.ipop.mapping import addr_for_ip
+from repro.ipop.transfer import OverlayTransfer
+from repro.middleware.rpc import RpcClient, RpcFailure, RpcServer
+from repro.sim.process import WaitSignal
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vm.machine import WowVm
+
+SSH_PORT = 22
+
+
+class ScpServer:
+    """Serves files over SSH from one VM."""
+
+    def __init__(self, vm: "WowVm"):
+        self.vm = vm
+        self.files: dict[str, float] = {}
+        self.rpc = RpcServer(vm, SSH_PORT, self._handle,
+                             cpu_per_request=0.02)  # key exchange etc.
+
+    def put_file(self, name: str, size: float) -> None:
+        """Make a file of ``size`` bytes downloadable as ``name``."""
+        self.files[name] = size
+
+    def _handle(self, method: str, body, src_ip: str):
+        if method == "open":
+            size = self.files.get(body)
+            return {"exists": size is not None, "size": size}
+        return {"error": "bad method"}
+
+    def close(self) -> None:
+        """Stop the SSH daemon."""
+        self.rpc.close()
+
+
+class ScpClient:
+    """Downloads files; exposes the live transfer for instrumentation."""
+
+    def __init__(self, vm: "WowVm", server_ip: str):
+        self.vm = vm
+        self.server_ip = server_ip
+        self.server_addr = addr_for_ip(server_ip)
+        self.rpc = RpcClient(vm)
+        self.calib = vm.deployment.calib
+        self.transfer: Optional[OverlayTransfer] = None
+
+    def download(self, name: str):
+        """Generator: fetch ``name``; returns the finished transfer (or
+        None when the session could not be established)."""
+        done = self.rpc.call(self.server_ip, SSH_PORT, "open", name,
+                             retries=30)
+        resp = yield WaitSignal(done)
+        if isinstance(resp, RpcFailure) or not resp.get("exists"):
+            return None
+        self.transfer = OverlayTransfer(
+            self.vm.deployment.broker, self.server_addr, self.vm.addr,
+            resp["size"] / self.calib.scp_efficiency,
+            name=f"scp.{self.vm.name}.{name}")
+        yield WaitSignal(self.transfer.done)
+        return self.transfer
+
+    def local_size_log(self) -> list[tuple[float, float]]:
+        """(time, bytes on client disk) samples — the y-axis of Fig. 6."""
+        if self.transfer is None:
+            return []
+        eff = self.calib.scp_efficiency
+        return [(t, b * eff) for t, b in self.transfer.progress_log()]
+
+    def close(self) -> None:
+        """Close the client session."""
+        self.rpc.close()

@@ -1,0 +1,30 @@
+"""Test TCP (ttcp) bandwidth measurement — the Table II tool.
+
+"We used the Test TCP (ttcp) utility to measure the end-to-end bandwidth
+achieved in transfers of large files" (§V-B).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.ipop.transfer import OverlayTransfer
+from repro.sim.process import WaitSignal
+from repro.sim.units import to_KBps
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vm.machine import WowVm
+
+
+def ttcp_measure(src_vm: "WowVm", dst_vm: "WowVm", size: float,
+                 name: str = "ttcp"):
+    """Generator: one ttcp transfer of ``size`` bytes from ``src_vm`` to
+    ``dst_vm``.  Returns measured goodput in the paper's KB/s."""
+    calib = src_vm.deployment.calib
+    xfer = OverlayTransfer(src_vm.deployment.broker, src_vm.addr,
+                           dst_vm.addr, size / calib.ttcp_efficiency,
+                           name=name)
+    t0 = src_vm.sim.now
+    yield WaitSignal(xfer.done)
+    elapsed = src_vm.sim.now - t0
+    return to_KBps(size / elapsed) if elapsed > 0 else 0.0

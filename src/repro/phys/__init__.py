@@ -1,0 +1,41 @@
+"""Physical substrate: hosts, sites, NAT/firewall middleboxes, the WAN.
+
+This package replaces the paper's testbed hardware (campus networks, NAT
+routers, PlanetLab hosts) with an event-driven model.  Control traffic is
+simulated per-datagram (:mod:`repro.phys.network`); bulk data uses a
+max-min-fair fluid-flow model (:mod:`repro.phys.flows`).
+"""
+
+from repro.phys.endpoints import Endpoint, ip_in_subnet
+from repro.phys.packet import Datagram
+from repro.phys.nat import (
+    Nat,
+    NatSpec,
+    MappingBehavior,
+    FilteringBehavior,
+    FirewallPolicy,
+)
+from repro.phys.host import Host, UdpSocket
+from repro.phys.latency import LatencyModel
+from repro.phys.topology import Site
+from repro.phys.network import Internet
+from repro.phys.flows import Flow, FlowManager, Resource
+
+__all__ = [
+    "Endpoint",
+    "ip_in_subnet",
+    "Datagram",
+    "Nat",
+    "NatSpec",
+    "MappingBehavior",
+    "FilteringBehavior",
+    "FirewallPolicy",
+    "Host",
+    "UdpSocket",
+    "LatencyModel",
+    "Site",
+    "Internet",
+    "Flow",
+    "FlowManager",
+    "Resource",
+]

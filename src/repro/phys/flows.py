@@ -1,0 +1,309 @@
+"""Max-min fair fluid-flow model for bulk data transfers.
+
+Simulating a 720 MB SCP transfer packet-by-packet would need ~10⁶ events;
+instead, bulk transfers are *flows* that progress continuously at a rate
+determined by progressive filling (max-min fairness) over the capacity
+resources along their path.  Rates are recomputed whenever the flow set or
+any path changes; between recomputations progress is linear, so the manager
+integrates exactly.
+
+Per-flow rate caps (e.g. a TCP window/RTT bound) are modelled as a private
+:class:`Resource` appended to the path — this keeps the fairness computation
+uniform and correct.
+
+The overlay layer maps an overlay route onto resources: each traversed
+IPOP router contributes its user-level forwarding capacity and each WAN
+site-pair contributes a path-capacity resource (see
+:mod:`repro.ipop.router`).  Re-pathing a live flow (a shortcut forming, a
+migration) is ``flow.set_path(...)`` — exactly what Figs. 6–8 exercise.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+from repro.sim.process import Signal
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Event, Simulator
+
+_EPS = 1e-9
+
+
+class Resource:
+    """A capacity-limited stage (link, router CPU) shared by flows."""
+
+    __slots__ = ("name", "capacity", "flows")
+
+    def __init__(self, name: str, capacity: float):
+        if capacity < 0:
+            raise ValueError(f"negative capacity for {name}")
+        self.name = name
+        self.capacity = capacity
+        self.flows: set["Flow"] = set()
+
+    def set_capacity(self, capacity: float, manager: "FlowManager") -> None:
+        """Change capacity and recompute rates of affected flows."""
+        self.capacity = capacity
+        manager.recompute()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Resource {self.name} cap={self.capacity:.0f}B/s n={len(self.flows)}>"
+
+
+class Flow:
+    """One bulk transfer.
+
+    ``done`` is a latched signal fired with the completion time.  ``paused``
+    flows hold their progress at rate 0 (used across migration outages).
+    """
+
+    def __init__(self, manager: "FlowManager", name: str, size: float,
+                 path: Iterable[Resource], rate_cap: Optional[float] = None,
+                 on_complete: Optional[Callable[["Flow"], None]] = None):
+        if size <= 0:
+            raise ValueError("flow size must be positive")
+        self.manager = manager
+        self.name = name
+        self.size = float(size)
+        self.transferred = 0.0
+        self.rate = 0.0
+        self.paused = False
+        self.completed = False
+        self.start_time = manager.sim.now
+        self.finish_time: Optional[float] = None
+        self.on_complete = on_complete
+        self.done = Signal(manager.sim, f"flow.{name}.done", latch=True)
+        self.progress_log: list[tuple[float, float]] = [(self.start_time, 0.0)]
+        self._cap_resource: Optional[Resource] = None
+        self.path: list[Resource] = []
+        self._set_path_internal(path, rate_cap)
+        manager.add(self)
+
+    # -- path management --------------------------------------------------
+    def _set_path_internal(self, path: Iterable[Resource],
+                           rate_cap: Optional[float]) -> None:
+        for r in self.path:
+            r.flows.discard(self)
+        self.path = list(path)
+        if rate_cap is not None:
+            self._cap_resource = Resource(f"cap.{self.name}", rate_cap)
+            self.path.append(self._cap_resource)
+        elif self._cap_resource is not None:
+            self.path.append(self._cap_resource)
+        for r in self.path:
+            r.flows.add(self)
+
+    def set_path(self, path: Iterable[Resource],
+                 rate_cap: Optional[float] = None) -> None:
+        """Re-route the flow (keeps transferred bytes)."""
+        if self.completed:
+            return
+        self.manager.advance()
+        if rate_cap is not None and self._cap_resource is not None:
+            self._cap_resource.capacity = rate_cap
+            rate_cap = None  # reuse the existing cap resource
+        self._set_path_internal(path, rate_cap)
+        self.manager.recompute()
+
+    def set_rate_cap(self, rate_cap: float) -> None:
+        """Install/update a per-flow rate ceiling (e.g. window/RTT)."""
+        if self._cap_resource is None:
+            self.manager.advance()
+            self._set_path_internal(self.path, rate_cap)
+            self.manager.recompute()
+        else:
+            self._cap_resource.set_capacity(rate_cap, self.manager)
+
+    # -- control ----------------------------------------------------------
+    def _log_point(self) -> None:
+        now = self.manager.sim.now
+        if self.progress_log[-1] != (now, self.transferred):
+            self.progress_log.append((now, self.transferred))
+
+    def pause(self) -> None:
+        """Freeze progress at rate 0 (e.g. across a migration outage)."""
+        if not self.paused and not self.completed:
+            self.manager.advance()
+            self.paused = True
+            self._log_point()
+            self.manager.recompute()
+
+    def resume(self) -> None:
+        """Undo :meth:`pause`; rates are recomputed immediately."""
+        if self.paused and not self.completed:
+            self.manager.advance()
+            self.paused = False
+            self._log_point()
+            self.manager.recompute()
+
+    def cancel(self) -> None:
+        """Abort the transfer; ``done`` never fires."""
+        if not self.completed:
+            self.manager.remove(self)
+
+    @property
+    def remaining(self) -> float:
+        """Bytes still to transfer."""
+        return max(0.0, self.size - self.transferred)
+
+    def mean_rate(self, t0: Optional[float] = None,
+                  t1: Optional[float] = None) -> float:
+        """Average achieved rate over [t0, t1] from the progress log."""
+        log = self.progress_log
+        t0 = log[0][0] if t0 is None else t0
+        t1 = log[-1][0] if t1 is None else t1
+        if t1 <= t0:
+            return 0.0
+
+        def bytes_at(t: float) -> float:
+            prev_t, prev_b = log[0]
+            for lt, lb in log:
+                if lt > t:
+                    if lt == prev_t:
+                        return prev_b
+                    frac = (t - prev_t) / (lt - prev_t)
+                    return prev_b + frac * (lb - prev_b)
+                prev_t, prev_b = lt, lb
+            return log[-1][1]
+
+        return (bytes_at(t1) - bytes_at(t0)) / (t1 - t0)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<Flow {self.name} {self.transferred:.0f}/{self.size:.0f}B "
+                f"rate={self.rate:.0f}B/s>")
+
+
+class FlowManager:
+    """Owns all live flows; integrates progress and recomputes fair rates."""
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.flows: set[Flow] = set()
+        self._last_advance = sim.now
+        self._next_event: Optional["Event"] = None
+        self.completed_count = 0
+
+    # -- flow set ----------------------------------------------------------
+    def add(self, flow: Flow) -> None:
+        """Admit a flow and rebalance rates."""
+        self.advance()
+        self.flows.add(flow)
+        self.recompute()
+
+    def remove(self, flow: Flow) -> None:
+        """Withdraw a flow (without completing it) and rebalance."""
+        self.advance()
+        self.flows.discard(flow)
+        for r in flow.path:
+            r.flows.discard(flow)
+        self.recompute()
+
+    # -- integration --------------------------------------------------------
+    def advance(self) -> None:
+        """Accrue linear progress since the last rate computation."""
+        now = self.sim.now
+        dt = now - self._last_advance
+        if dt <= 0:
+            self._last_advance = now
+            return
+        finished: list[Flow] = []
+        for f in self.flows:
+            if f.rate > 0:
+                f.transferred = min(f.size, f.transferred + f.rate * dt)
+                f.progress_log.append((now, f.transferred))
+                if f.remaining <= _EPS:
+                    finished.append(f)
+        self._last_advance = now
+        for f in finished:
+            self._complete(f)
+
+    def _complete(self, flow: Flow) -> None:
+        flow.completed = True
+        flow.finish_time = self.sim.now
+        flow.rate = 0.0
+        self.flows.discard(flow)
+        for r in flow.path:
+            r.flows.discard(flow)
+        self.completed_count += 1
+        self.sim.trace("flow.complete", name=flow.name,
+                       duration=flow.finish_time - flow.start_time,
+                       size=flow.size)
+        if flow.on_complete is not None:
+            flow.on_complete(flow)
+        flow.done.fire(flow.finish_time)
+
+    # -- rate computation --------------------------------------------------
+    def recompute(self) -> None:
+        """Progressive-filling max-min fair allocation, then reschedule the
+        next completion event."""
+        self.advance()
+        active = {f for f in self.flows if not f.paused and f.path}
+        for f in self.flows:
+            f.rate = 0.0
+
+        # gather resources used by active flows
+        res_flows: dict[Resource, set[Flow]] = {}
+        for f in active:
+            for r in f.path:
+                res_flows.setdefault(r, set()).add(f)
+
+        remaining_cap = {r: r.capacity for r in res_flows}
+        unfrozen = set(active)
+        while unfrozen:
+            # bottleneck share
+            best_share = math.inf
+            for r, fs in res_flows.items():
+                live = len(fs & unfrozen)
+                if live:
+                    share = remaining_cap[r] / live
+                    if share < best_share:
+                        best_share = share
+            if not math.isfinite(best_share):
+                break
+            if best_share <= _EPS:
+                # saturated resources: freeze their flows at zero
+                frozen_now = set()
+                for r, fs in res_flows.items():
+                    live = fs & unfrozen
+                    if live and remaining_cap[r] / len(live) <= _EPS:
+                        frozen_now |= live
+                for f in frozen_now:
+                    f.rate = 0.0
+                unfrozen -= frozen_now
+                continue
+            # freeze flows crossing the bottleneck resource(s)
+            frozen_now = set()
+            for r, fs in res_flows.items():
+                live = fs & unfrozen
+                if live and remaining_cap[r] / len(live) <= best_share + _EPS:
+                    frozen_now |= live
+            for f in frozen_now:
+                f.rate = best_share
+                for r in f.path:
+                    if r in remaining_cap:
+                        remaining_cap[r] = max(0.0,
+                                               remaining_cap[r] - best_share)
+            unfrozen -= frozen_now
+
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        if self._next_event is not None:
+            self._next_event.cancel()
+            self._next_event = None
+        next_dt = math.inf
+        for f in self.flows:
+            if f.rate > _EPS:
+                next_dt = min(next_dt, f.remaining / f.rate)
+        if math.isfinite(next_dt):
+            # floor the step at 1 µs: a residual of a few bytes divided by a
+            # MB/s rate is below float time resolution and would otherwise
+            # re-fire this event forever without advancing the clock
+            self._next_event = self.sim.schedule(max(1e-6, next_dt),
+                                                 self._on_completion_event)
+
+    def _on_completion_event(self) -> None:
+        self._next_event = None
+        self.recompute()

@@ -1,0 +1,77 @@
+"""WAN latency model.
+
+One-way delay between two hosts =
+
+    base(site_a, site_b)        symmetric site-pair base latency
+  + jitter                      lognormal multiplicative jitter
+  + host processing             per-endpoint delay scaled by host load
+
+Site-pair base latencies are stored in a symmetric table with a default for
+unlisted pairs.  Intra-site delay is the site's ``lan_latency``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.sim.units import ms
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.phys.host import Host
+
+
+class LatencyModel:
+    """Computes per-datagram one-way delays and loss decisions."""
+
+    def __init__(self, rng: np.random.Generator,
+                 default_wan_latency: float = ms(25.0),
+                 jitter_sigma: float = 0.08,
+                 default_loss: float = 0.0005):
+        self.rng = rng
+        self.default_wan_latency = default_wan_latency
+        self.jitter_sigma = jitter_sigma
+        self.default_loss = default_loss
+        self._pair_latency: dict[frozenset, float] = {}
+        self._pair_loss: dict[frozenset, float] = {}
+
+    # -- configuration -------------------------------------------------
+    def set_pair(self, site_a: str, site_b: str, one_way: float,
+                 loss: float | None = None) -> None:
+        """Configure the symmetric base latency (and loss) for a site pair."""
+        key = frozenset((site_a, site_b))
+        self._pair_latency[key] = one_way
+        if loss is not None:
+            self._pair_loss[key] = loss
+
+    def base_latency(self, site_a: str, site_b: str) -> float:
+        """One-way base latency between two (distinct) sites."""
+        if site_a == site_b:
+            raise ValueError("intra-site latency comes from the Site object")
+        return self._pair_latency.get(frozenset((site_a, site_b)),
+                                      self.default_wan_latency)
+
+    def loss_probability(self, site_a: str, site_b: str) -> float:
+        """Per-packet loss probability for the site pair (0 intra-site)."""
+        if site_a == site_b:
+            return 0.0
+        return self._pair_loss.get(frozenset((site_a, site_b)),
+                                   self.default_loss)
+
+    # -- sampling --------------------------------------------------------
+    def sample_delay(self, src: "Host", dst: "Host") -> float:
+        """One-way delay for a datagram from ``src`` to ``dst``."""
+        if src.site is dst.site:
+            base = src.site.lan_latency
+        else:
+            base = self.base_latency(src.site.name, dst.site.name)
+        jitter = float(self.rng.lognormal(mean=0.0, sigma=self.jitter_sigma))
+        proc = src.processing_delay(self.rng) + dst.processing_delay(self.rng)
+        return base * jitter + proc
+
+    def sample_loss(self, src: "Host", dst: "Host") -> bool:
+        """True when the datagram should be dropped in transit."""
+        p = self.loss_probability(src.site.name, dst.site.name)
+        p = min(1.0, p + src.extra_loss + dst.extra_loss)
+        return bool(self.rng.random() < p) if p > 0 else False

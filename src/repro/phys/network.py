@@ -1,0 +1,171 @@
+"""The simulated internet: datagram routing across sites and NAT chains.
+
+Outbound, a packet walks its source host's NAT chain from the innermost
+device: at each NAT it is either (a) delivered inside that NAT's scope,
+(b) hairpinned (or dropped, if the NAT does not support hairpin — the UFL
+behaviour central to Fig. 4), or (c) source-translated and pushed outward.
+At the public core the destination is resolved — possibly descending through
+the *destination's* NAT chain with filtering checks — and delivery is
+scheduled after a sampled latency, unless the loss model drops the packet.
+
+Every drop is counted by reason; the Fig. 4/5 experiments read ICMP loss
+straight off these mechanics.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import TYPE_CHECKING, Optional
+
+from repro.phys.endpoints import Endpoint
+from repro.phys.latency import LatencyModel
+from repro.phys.packet import Datagram
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.phys.host import Host
+    from repro.phys.nat import Nat
+    from repro.sim.engine import Simulator
+
+
+class Internet:
+    """Routes datagrams between hosts; owns the latency/loss model."""
+
+    def __init__(self, sim: "Simulator",
+                 latency_model: Optional[LatencyModel] = None):
+        self.sim = sim
+        self.latency = latency_model or LatencyModel(
+            sim.rng.stream("phys.latency"))
+        self.hosts_by_ip: dict[str, "Host"] = {}
+        self.nats_by_ip: dict[str, "Nat"] = {}
+        self.drops: Counter = Counter()
+        self.delivered = 0
+        self._public_net = 0
+        self._public_host = 0
+
+    # -- registration ----------------------------------------------------
+    def register_host(self, host: "Host") -> None:
+        """Make ``host.ip`` routable (called by Host.__init__)."""
+        if host.ip in self.hosts_by_ip:
+            raise ValueError(f"duplicate IP {host.ip}")
+        self.hosts_by_ip[host.ip] = host
+
+    def unregister_host(self, host: "Host") -> None:
+        """Remove the host's IP from the routing table (migration)."""
+        self.hosts_by_ip.pop(host.ip, None)
+
+    def register_nat(self, nat: "Nat") -> None:
+        """Make a NAT's public IP resolvable for inbound descent."""
+        if nat.public_ip in self.nats_by_ip:
+            raise ValueError(f"duplicate NAT public IP {nat.public_ip}")
+        self.nats_by_ip[nat.public_ip] = nat
+
+    def allocate_public_ip(self) -> str:
+        """A fresh globally-routable address (for NAT devices)."""
+        self._public_host += 1
+        return f"128.0.{self._public_host // 250}.{self._public_host % 250 + 2}"
+
+    def allocate_public_prefix(self) -> str:
+        """A fresh /24-style prefix for a public site."""
+        self._public_net += 1
+        return f"150.{self._public_net}.0."
+
+    # -- sending ----------------------------------------------------------
+    def send(self, src_host: "Host", dgram: Datagram) -> None:
+        """Route one datagram.  Never raises for network-level failures —
+        packets silently vanish with a counted reason, like real UDP."""
+        proto = dgram.proto
+        for nat in src_host.nat_chain:
+            if nat.is_inside(dgram.dst.ip):
+                # stays within this NAT's scope — no translation at/above it
+                dgram.hop(f"lan:{nat.name}")
+                self._resolve_and_schedule(src_host, dgram, trusted=True)
+                return
+            public_src = nat.translate_outbound(proto, dgram.src, dgram.dst)
+            if dgram.dst.ip == nat.public_ip:
+                if not nat.spec.hairpin:
+                    nat.drops["hairpin"] += 1
+                    self._drop(dgram, f"hairpin:{nat.name}")
+                    return
+                inner = nat.translate_inbound(proto, dgram.dst.port,
+                                              public_src)
+                if inner is None:
+                    self._drop(dgram, f"filtering:{nat.name}")
+                    return
+                dgram.src = public_src
+                dgram.dst = inner
+                dgram.hop(f"hairpin:{nat.name}")
+                self._resolve_and_schedule(src_host, dgram, trusted=True)
+                return
+            dgram.src = public_src
+            dgram.hop(f"snat:{nat.name}")
+        self._resolve_and_schedule(src_host, dgram)
+
+    # -- destination resolution ------------------------------------------
+    def _resolve_and_schedule(self, src_host: "Host", dgram: Datagram,
+                              trusted: bool = False) -> None:
+        """Deliver toward the destination, descending through its NATs.
+
+        ``trusted`` marks packets that legitimately entered a private scope
+        (intra-site delivery, hairpin translation).  Untrusted packets from
+        the public core addressed straight at a private (NATed) host are
+        unroutable — private URIs only work from inside (§IV-D).
+        """
+        # descend through destination NATs
+        seen = 0
+        while True:
+            nat = self.nats_by_ip.get(dgram.dst.ip)
+            if nat is None:
+                break
+            seen += 1
+            if seen > 8:  # pragma: no cover - defensive
+                self._drop(dgram, "nat-loop")
+                return
+            inner = nat.translate_inbound(dgram.proto, dgram.dst.port,
+                                          dgram.src)
+            if inner is None:
+                self._drop(dgram, f"filtering:{nat.name}")
+                return
+            dgram.dst = inner
+            dgram.hop(f"dnat:{nat.name}")
+            trusted = True  # the NAT mapping vouches for the inner hop
+
+        host = self.hosts_by_ip.get(dgram.dst.ip)
+        if host is None or not host.up:
+            self._drop(dgram, "unroutable")
+            return
+        if not trusted and host.nat_chain:
+            self._drop(dgram, "private-unroutable")
+            return
+        fw = host.site.firewall
+        if fw is not None and src_host.site is not host.site \
+                and not fw.allows_inbound(dgram.dst.port):
+            self._drop(dgram, f"firewall:{host.site.name}")
+            return
+        if self.latency.sample_loss(src_host, host):
+            self._drop(dgram, "loss")
+            return
+        delay = self.latency.sample_delay(src_host, host)
+        self.sim.schedule(delay, self._deliver, host, dgram)
+
+    def _deliver(self, host: "Host", dgram: Datagram) -> None:
+        if not host.up:
+            self._drop(dgram, "host-down")
+            return
+        self.delivered += 1
+        host.deliver(dgram)
+
+    def _drop(self, dgram: Datagram, reason: str) -> None:
+        self.drops[reason] += 1
+        self.sim.trace("net.drop", reason=reason, dst=str(dgram.dst))
+
+    # -- utilities -------------------------------------------------------
+    def host_for_ip(self, ip: str) -> Optional["Host"]:
+        """The host registered at ``ip``, if any."""
+        return self.hosts_by_ip.get(ip)
+
+    def reachable_endpoint(self, host: "Host") -> Endpoint:
+        """The outermost public IP a fully-external peer would see for
+        ``host`` (NAT public IP if NATed).  Port 0 placeholder."""
+        if host.nat_chain:
+            return Endpoint(host.nat_chain[-1].public_ip, 0)
+        return Endpoint(host.ip, 0)

@@ -1,0 +1,42 @@
+"""Datagram model.
+
+A :class:`Datagram` is one UDP packet travelling through the simulated
+internet.  ``payload`` is any Python object (protocol message); ``size`` is
+the on-wire size in bytes used for serialization-delay accounting.  NATs
+rewrite ``src``/``dst`` in place as the packet crosses them, and append to
+``path`` for debugging/tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.phys.endpoints import Endpoint
+
+# Rough fixed header cost (IP + UDP + overlay framing) added to payloads.
+HEADER_BYTES = 60
+
+
+class Datagram:
+    """One simulated UDP packet."""
+
+    __slots__ = ("src", "dst", "payload", "size", "proto", "path", "orig_src")
+
+    def __init__(self, src: Endpoint, dst: Endpoint, payload: Any,
+                 size: Optional[int] = None, proto: str = "udp"):
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.size = HEADER_BYTES + (size if size is not None else 0)
+        self.proto = proto
+        # original (pre-NAT) source, for trace assertions
+        self.orig_src = src
+        self.path: list[str] = []
+
+    def hop(self, label: str) -> None:
+        """Record a traversal step (NAT, core, delivery)."""
+        self.path.append(label)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        kind = type(self.payload).__name__
+        return f"<Datagram {self.src}->{self.dst} {kind} {self.size}B>"

@@ -1,0 +1,30 @@
+"""Discrete-event simulation kernel used by every WOW substrate.
+
+The kernel is deliberately small and dependency-free: a binary-heap event
+queue (:class:`~repro.sim.engine.Simulator`), generator-based processes
+(:mod:`repro.sim.process`), condition variables (:class:`~repro.sim.process.Signal`),
+deterministic named RNG streams (:mod:`repro.sim.rng`) and a tracing facility
+(:mod:`repro.sim.trace`).
+
+Time is a float in **seconds**; data sizes are **bytes**; bandwidth is
+**bytes/second** throughout the code base (see :mod:`repro.sim.units`).
+"""
+
+from repro.sim.engine import Event, Simulator, SimulationError
+from repro.sim.process import Process, Signal, Timeout, WaitSignal, AllOf
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import Tracer, TimeSeries
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "SimulationError",
+    "Process",
+    "Signal",
+    "Timeout",
+    "WaitSignal",
+    "AllOf",
+    "RngRegistry",
+    "Tracer",
+    "TimeSeries",
+]

@@ -1,0 +1,162 @@
+"""Event loop for the discrete-event simulator.
+
+Events are ordered by ``(time, priority, sequence)`` so simultaneous events
+fire in a deterministic order (FIFO within a priority class).  Everything in
+the repo shares one :class:`Simulator` per experiment, which also owns the
+RNG registry and the tracer so that a single seed makes a whole experiment
+reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Callable, Iterator, Optional
+
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import Tracer
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (negative delays, running a finished sim)."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are returned by :meth:`Simulator.schedule` and may be
+    cancelled; cancellation is O(1) (the heap entry is tombstoned).
+    """
+
+    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, priority: int, seq: int,
+                 fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time, other.priority, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time:.6f} {getattr(self.fn, '__name__', self.fn)} {state}>"
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for all RNG streams (see :class:`RngRegistry`).
+    trace:
+        When true, a :class:`Tracer` records events emitted via
+        :meth:`Simulator.trace`.
+    """
+
+    def __init__(self, seed: int = 0, trace: bool = True):
+        self.now: float = 0.0
+        self._queue: list[Event] = []
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        self.events_processed = 0
+        self.rng = RngRegistry(seed)
+        self.tracer = Tracer(enabled=trace)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any,
+                 priority: int = 0) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0 or math.isnan(delay):
+            raise SimulationError(f"negative/NaN delay: {delay!r}")
+        return self.schedule_at(self.now + delay, fn, *args, priority=priority)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any,
+                    priority: int = 0) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulation ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule in the past: {time} < now {self.now}")
+        ev = Event(time, priority, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._queue, ev)
+        return ev
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the next pending event.  Returns False when queue is empty."""
+        while self._queue:
+            ev = heapq.heappop(self._queue)
+            if ev.cancelled:
+                continue
+            if ev.time < self.now:  # pragma: no cover - defensive
+                raise SimulationError("event queue corrupted: time went backwards")
+            self.now = ev.time
+            self.events_processed += 1
+            ev.fn(*ev.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Run until the queue drains, ``until`` is reached, or
+        ``max_events`` fired.  Returns the final simulation time."""
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        self._stopped = False
+        fired = 0
+        try:
+            while self._queue and not self._stopped:
+                if max_events is not None and fired >= max_events:
+                    break
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and head.time > until:
+                    self.now = until
+                    break
+                if not self.step():  # pragma: no cover - guarded by loop cond
+                    break
+                fired += 1
+            else:
+                if until is not None and not self._stopped:
+                    self.now = max(self.now, until)
+        finally:
+            self._running = False
+        return self.now
+
+    def stop(self) -> None:
+        """Stop :meth:`run` after the current event returns."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # conveniences
+    # ------------------------------------------------------------------
+    def trace(self, category: str, **data: Any) -> None:
+        """Record a trace entry stamped with the current time."""
+        self.tracer.record(self.now, category, data)
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for ev in self._queue if not ev.cancelled)
+
+    def iter_pending(self) -> Iterator[Event]:
+        """Iterate live queued events in heap (not chronological) order."""
+        return (ev for ev in self._queue if not ev.cancelled)

@@ -1,0 +1,191 @@
+"""Generator-based processes on top of the event kernel.
+
+A *process* is a Python generator that yields :class:`Timeout`,
+:class:`WaitSignal` or :class:`AllOf` commands.  This gives protocol code a
+sequential shape (handshakes, retry loops with back-off) without threads.
+
+Example
+-------
+>>> from repro.sim import Simulator, Process, Timeout
+>>> sim = Simulator()
+>>> log = []
+>>> def worker():
+...     log.append(("start", sim.now))
+...     yield Timeout(2.5)
+...     log.append(("done", sim.now))
+>>> _ = Process(sim, worker())
+>>> _ = sim.run()
+>>> log
+[('start', 0.0), ('done', 2.5)]
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable, Optional
+
+
+class Timeout:
+    """Yielded by a process to sleep for ``delay`` seconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float):
+        self.delay = float(delay)
+
+
+class Signal:
+    """A broadcast condition variable carrying a value.
+
+    Processes wait on it by yielding :class:`WaitSignal`; plain callbacks can
+    subscribe with :meth:`wait_callback`.  Firing resumes every waiter with
+    the fired value.  A signal may fire many times; waiters registered after
+    a firing wait for the *next* one unless the signal was created with
+    ``latch=True``, in which case the first firing is remembered and late
+    waiters complete immediately.
+    """
+
+    __slots__ = ("sim", "name", "latch", "fired", "value", "_waiters")
+
+    def __init__(self, sim, name: str = "", latch: bool = False):
+        self.sim = sim
+        self.name = name
+        self.latch = latch
+        self.fired = False
+        self.value: Any = None
+        self._waiters: list[Callable[[Any], None]] = []
+
+    def fire(self, value: Any = None) -> None:
+        """Resume all current waiters with ``value`` (via 0-delay events)."""
+        if self.latch and self.fired:
+            return
+        self.fired = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for fn in waiters:
+            self.sim.schedule(0.0, fn, value)
+
+    def wait_callback(self, fn: Callable[[Any], None]) -> None:
+        """Invoke ``fn(value)`` on the next firing (or now, if latched)."""
+        if self.latch and self.fired:
+            self.sim.schedule(0.0, fn, self.value)
+        else:
+            self._waiters.append(fn)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Signal {self.name!r} fired={self.fired}>"
+
+
+class WaitSignal:
+    """Yielded by a process to block until ``signal`` fires.
+
+    ``timeout`` (seconds, optional) bounds the wait; on expiry the process
+    resumes with the value ``TIMED_OUT``.
+    """
+
+    TIMED_OUT = object()
+
+    __slots__ = ("signal", "timeout")
+
+    def __init__(self, signal: Signal, timeout: Optional[float] = None):
+        self.signal = signal
+        self.timeout = timeout
+
+
+class AllOf:
+    """Yielded by a process to block until all ``signals`` have fired.
+
+    Resumes with the list of values in signal order.
+    """
+
+    __slots__ = ("signals",)
+
+    def __init__(self, signals: Iterable[Signal]):
+        self.signals = list(signals)
+
+
+class Process:
+    """Drives a generator against a :class:`~repro.sim.engine.Simulator`.
+
+    The process starts immediately (its first segment runs synchronously up
+    to the first yield).  ``done`` is a latched :class:`Signal` fired with
+    the generator's return value when it finishes.
+    """
+
+    def __init__(self, sim, gen: Generator, name: str = ""):
+        self.sim = sim
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self.done = Signal(sim, f"{self.name}.done", latch=True)
+        self.alive = True
+        self._advance(None)
+
+    def interrupt(self) -> None:
+        """Kill the process.  ``done`` fires with ``None``."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.gen.close()
+        self.done.fire(None)
+
+    # ------------------------------------------------------------------
+    def _advance(self, value: Any) -> None:
+        if not self.alive:
+            return
+        try:
+            cmd = self.gen.send(value)
+        except StopIteration as stop:
+            self.alive = False
+            self.done.fire(stop.value)
+            return
+        self._dispatch(cmd)
+
+    def _dispatch(self, cmd: Any) -> None:
+        if isinstance(cmd, Timeout):
+            self.sim.schedule(cmd.delay, self._advance, None)
+        elif isinstance(cmd, WaitSignal):
+            self._wait_signal(cmd)
+        elif isinstance(cmd, AllOf):
+            self._wait_all(cmd)
+        elif isinstance(cmd, Signal):
+            self._wait_signal(WaitSignal(cmd))
+        else:
+            raise TypeError(
+                f"process {self.name!r} yielded unsupported command {cmd!r}")
+
+    def _wait_signal(self, cmd: WaitSignal) -> None:
+        state = {"settled": False}
+        timer = None
+
+        def on_fire(value: Any) -> None:
+            if state["settled"]:
+                return
+            state["settled"] = True
+            if timer is not None:
+                timer.cancel()
+            self._advance(value)
+
+        cmd.signal.wait_callback(on_fire)
+        if cmd.timeout is not None:
+            def on_timeout() -> None:
+                if state["settled"]:
+                    return
+                state["settled"] = True
+                self._advance(WaitSignal.TIMED_OUT)
+            timer = self.sim.schedule(cmd.timeout, on_timeout)
+
+    def _wait_all(self, cmd: AllOf) -> None:
+        remaining = {"n": len(cmd.signals)}
+        values: list[Any] = [None] * len(cmd.signals)
+        if remaining["n"] == 0:
+            self.sim.schedule(0.0, self._advance, values)
+            return
+        for i, sig in enumerate(cmd.signals):
+            def on_fire(value: Any, i: int = i) -> None:
+                values[i] = value
+                remaining["n"] -= 1
+                if remaining["n"] == 0:
+                    self._advance(values)
+            sig.wait_callback(on_fire)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Process {self.name!r} alive={self.alive}>"

@@ -1,0 +1,13 @@
+"""Virtual machine layer (paper §III).
+
+:class:`~repro.vm.image.VmImage` models the clone-and-instantiate appliance
+workflow; :class:`~repro.vm.machine.WowVm` is one running guest — its
+network presence (a host behind the site's NAT), its IPOP node/tap, a
+chunked CPU model, and WAN live migration with the paper's
+kill-and-restart-IPOP recipe (§V-C).
+"""
+
+from repro.vm.image import VmImage
+from repro.vm.machine import WowVm, MigrationRecord
+
+__all__ = ["VmImage", "WowVm", "MigrationRecord"]

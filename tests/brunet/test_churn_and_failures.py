@@ -1,0 +1,117 @@
+"""Failure injection: churn, NAT re-mapping, packet loss, bootstrap death."""
+
+import numpy as np
+import pytest
+
+from repro.brunet import BrunetConfig, BrunetNode, random_address
+from repro.brunet.connection import ConnectionType
+from repro.brunet.routing import overlay_hop_count
+from repro.brunet.uri import Uri
+from repro.phys import Internet, NatSpec, Site
+from repro.sim import Simulator
+from tests.conftest import build_overlay
+
+
+def registry(nodes):
+    live = {n.addr: n for n in nodes if n.active}
+    return live.get
+
+
+def test_ring_survives_serial_churn(sim, internet):
+    """Kill and replace nodes one at a time; the ring must stay routable."""
+    nodes, bootstrap = build_overlay(sim, internet, 10)
+    site = internet.hosts_by_ip[bootstrap[0].endpoint.ip].site
+    rng = sim.rng.stream("churn")
+    for round_no in range(3):
+        victim = nodes[3 + round_no]
+        victim.stop()
+        host = site.add_host(f"replacement{round_no}")
+        fresh = BrunetNode(sim, host, random_address(rng), BrunetConfig(),
+                           name=f"fresh{round_no}")
+        fresh.start(bootstrap)
+        nodes.append(fresh)
+        sim.run(until=sim.now + 150)
+    live = [n for n in nodes if n.active]
+    reachable = 0
+    for b in live[1:]:
+        if overlay_hop_count(live[0], b.addr, registry(nodes)) is not None:
+            reachable += 1
+    assert reachable >= len(live) - 2  # allow one still-converging pair
+
+
+def test_dead_peer_detected_by_keepalive(sim, internet):
+    nodes, _ = build_overlay(sim, internet, 8)
+    victim = nodes[4]
+    peers_with_conn = [n for n in nodes
+                       if n is not victim and n.table.get(victim.addr)]
+    assert peers_with_conn
+    victim.stop()
+    # ping timeout: interval 15 s, ~3 retries → well under 180 s
+    sim.run(until=sim.now + 180)
+    for peer in peers_with_conn:
+        assert peer.table.get(victim.addr) is None
+
+
+def test_nat_remapping_survived(sim, internet):
+    """§V-E: IPOP 'has been resilient to changes in NAT IP/port
+    translations' — mappings are re-learned via keep-alive traffic."""
+    priv = Site(internet, "home", subnet="10.44.", nat_spec=NatSpec.cone())
+    pub = Site(internet, "pub")
+    nodes, bootstrap = build_overlay(sim, internet, 6, site=pub)
+    host = priv.add_host("natted")
+    node = BrunetNode(sim, host, random_address(sim.rng.stream("n")),
+                      BrunetConfig(), name="natted")
+    node.start(bootstrap)
+    sim.run(until=sim.now + 60)
+    assert node.in_ring
+    # the ISP re-translates: every existing mapping dies
+    priv.nat.expire_all()
+    sim.run(until=sim.now + 240)
+    assert node.in_ring
+    live = {n.addr: n for n in nodes}
+    live[node.addr] = node
+    assert overlay_hop_count(nodes[0], node.addr, live.get) is not None
+
+
+def test_overlay_functions_under_loss(sim, internet):
+    """5% loss everywhere: joins take longer but the ring still forms."""
+    internet.latency.default_loss = 0.05
+    nodes, _ = build_overlay(sim, internet, 8, stagger=8.0)
+    sim.run(until=sim.now + 240)
+    assert sum(1 for n in nodes if n.in_ring) >= 7
+
+
+def test_bootstrap_death_does_not_kill_existing_ring(sim, internet):
+    nodes, bootstrap = build_overlay(sim, internet, 8)
+    nodes[0].stop()  # the seed node everyone bootstrapped from
+    sim.run(until=sim.now + 200)
+    live = [n for n in nodes[1:]]
+    ok = 0
+    for b in live[1:]:
+        if overlay_hop_count(live[0], b.addr, registry(nodes)) is not None:
+            ok += 1
+    assert ok >= len(live) - 2
+
+
+def test_concurrent_joins_converge(sim, internet):
+    """Many nodes joining simultaneously (no stagger) still form a ring."""
+    site = Site(internet, "burst")
+    cfg = BrunetConfig()
+    rng = sim.rng.stream("burst")
+    seed_host = site.add_host("seed")
+    seed = BrunetNode(sim, seed_host, random_address(rng), cfg, name="seed")
+    seed.start([])
+    boot = [Uri.udp(seed_host.ip, seed.port)]
+    burst = []
+    for i in range(9):
+        host = site.add_host(f"b{i}")
+        node = BrunetNode(sim, host, random_address(rng), cfg, name=f"b{i}")
+        node.start(boot)
+        burst.append(node)
+    sim.run(until=sim.now + 300)
+    nodes = [seed] + burst
+    assert all(n.in_ring for n in nodes)
+    reg = {n.addr: n for n in nodes}
+    hops = [overlay_hop_count(a, b.addr, reg.get)
+            for a in nodes for b in nodes if a is not b]
+    assert all(h is not None for h in hops)

@@ -1,0 +1,140 @@
+"""DHT over the ring + decentralized resource discovery (§VI extension)."""
+
+import pytest
+
+from repro.brunet.dht import DhtNode, key_address
+from repro.middleware.discovery import (
+    ResourceAd,
+    ResourceDiscovery,
+    ResourcePublisher,
+)
+from repro.sim.process import Process, WaitSignal
+from tests.conftest import build_overlay, make_mini_testbed
+
+
+@pytest.fixture()
+def dht_ring(sim, internet):
+    nodes, _ = build_overlay(sim, internet, 10)
+    dhts = [DhtNode(n) for n in nodes]
+    return nodes, dhts
+
+
+class TestDht:
+    def test_put_get_roundtrip(self, sim, dht_ring):
+        nodes, dhts = dht_ring
+        ack = dhts[0].put("alpha", 42)
+        sim.run(until=sim.now + 5)
+        assert ack.fired
+        got = dhts[7].get("alpha")
+        sim.run(until=sim.now + 5)
+        assert got.fired and got.value.found
+        assert got.value.values == [42]
+
+    def test_get_missing_key(self, sim, dht_ring):
+        nodes, dhts = dht_ring
+        got = dhts[3].get("never-stored")
+        sim.run(until=sim.now + 5)
+        assert got.fired and not got.value.found
+
+    def test_key_lives_at_nearest_node(self, sim, dht_ring):
+        from repro.brunet.address import ring_distance
+        nodes, dhts = dht_ring
+        dhts[0].put("beta", "x")
+        sim.run(until=sim.now + 5)
+        owner = min(nodes, key=lambda n: ring_distance(n.addr,
+                                                       key_address("beta")))
+        assert "beta" in owner.dht.store
+
+    def test_replication_to_both_neighbors(self, sim, dht_ring):
+        nodes, dhts = dht_ring
+        dhts[0].put("gamma", "y")
+        sim.run(until=sim.now + 5)
+        holders = [n.name for n in nodes if "gamma" in n.dht.store]
+        assert len(holders) == 3  # owner + both ring neighbours
+
+    def test_multiple_values_per_key(self, sim, dht_ring):
+        nodes, dhts = dht_ring
+        dhts[1].put("pool", "a")
+        dhts[2].put("pool", "b")
+        sim.run(until=sim.now + 5)
+        got = dhts[5].get("pool")
+        sim.run(until=sim.now + 5)
+        assert sorted(got.value.values) == ["a", "b"]
+
+    def test_republish_replaces_not_duplicates(self, sim, dht_ring):
+        nodes, dhts = dht_ring
+        for _ in range(3):
+            dhts[1].put("dup", "same")
+            sim.run(until=sim.now + 3)
+        got = dhts[4].get("dup")
+        sim.run(until=sim.now + 5)
+        assert got.value.values == ["same"]
+
+    def test_entries_expire(self, sim, dht_ring):
+        nodes, dhts = dht_ring
+        dhts[0].put("ephemeral", 1, ttl=20.0)
+        sim.run(until=sim.now + 5)
+        got = dhts[3].get("ephemeral")
+        sim.run(until=sim.now + 5)
+        assert got.value.found
+        sim.run(until=sim.now + 60)  # past TTL + gc
+        got2 = dhts[3].get("ephemeral")
+        sim.run(until=sim.now + 5)
+        assert not got2.value.found
+
+    def test_survives_owner_death_via_replica(self, sim, dht_ring):
+        from repro.brunet.address import ring_distance
+        nodes, dhts = dht_ring
+        dhts[0].put("resilient", "v", ttl=600.0)
+        sim.run(until=sim.now + 5)
+        owner = min(nodes, key=lambda n: ring_distance(
+            n.addr, key_address("resilient")))
+        owner.stop()
+        sim.run(until=sim.now + 120)  # ring heals; replica becomes nearest
+        asker = next(n for n in nodes if n is not owner)
+        got = asker.dht.get("resilient")
+        sim.run(until=sim.now + 10)
+        assert got.fired and got.value.found
+
+
+class TestDiscovery:
+    def test_capability_keys(self):
+        fast = ResourceAd("n", "ip", 1.33, 1, "lsu")
+        assert "cpu:fast" in fast.capability_keys()
+        assert "slots:free" in fast.capability_keys()
+        slow = ResourceAd("n", "ip", 0.5, 0, "gru")
+        keys = slow.capability_keys()
+        assert "cpu:slow" in keys and "slots:free" not in keys
+        assert "site:gru" in keys
+
+    def test_publish_and_discover_on_testbed(self):
+        sim, tb = make_mini_testbed(seed=88)
+        tb.deployment.enable_dht()
+        publishers = [ResourcePublisher(tb.vm(i)) for i in (30, 31, 32, 33)]
+        finder = ResourceDiscovery(tb.vm(2))
+        sim.run(until=sim.now + 20)
+        found = finder.find("cpu:fast")
+        sim.run(until=sim.now + 10)
+        names = {t[0] for t in found.value}
+        # lsu (30, 31) and vims (33) hosts are 1.33x
+        assert {"node030", "node031", "node033"} <= names
+        assert "node032" not in names  # ncgrid is the slow PIII
+
+    def test_ranked_discovery(self):
+        sim, tb = make_mini_testbed(seed=89)
+        tb.deployment.enable_dht()
+        for i in (3, 17, 30):
+            ResourcePublisher(tb.vm(i))
+        finder = ResourceDiscovery(tb.vm(2))
+        sim.run(until=sim.now + 20)
+        out = {}
+
+        def proc():
+            ranked = yield from finder.find_and_rank("workers:any")
+            out["ranked"] = ranked
+
+        Process(sim, proc())
+        sim.run(until=sim.now + 15)
+        speeds = [t[2] for t in out["ranked"]]
+        assert speeds == sorted(speeds, reverse=True)
+        assert len(speeds) == 3

@@ -1,0 +1,105 @@
+"""Stateful property test: ConnectionTable under random operation streams."""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.brunet.address import ADDRESS_SPACE, BrunetAddress, ring_distance
+from repro.brunet.connection import Connection, ConnectionType
+from repro.brunet.table import ConnectionTable
+from repro.phys.endpoints import Endpoint
+
+ME = BrunetAddress(123456789)
+
+
+class TableMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.table = ConnectionTable(ME)
+        self.model: dict[int, set] = {}  # addr → label set
+        self.added_events = 0
+        self.removed_events = 0
+        self.table.on_added.append(lambda c: self._count_add())
+        self.table.on_removed.append(lambda c: self._count_rm())
+
+    def _count_add(self):
+        self.added_events += 1
+
+    def _count_rm(self):
+        self.removed_events += 1
+
+    peers = Bundle("peers")
+
+    @rule(target=peers,
+          addr=st.integers(0, ADDRESS_SPACE - 1),
+          ctype=st.sampled_from(list(ConnectionType)))
+    def add_connection(self, addr, ctype):
+        if addr == int(ME):
+            addr += 1
+        conn = Connection(BrunetAddress(addr), Endpoint("1.1.1.1", 1),
+                          ctype, 0.0)
+        self.table.add(conn)
+        self.model.setdefault(addr % ADDRESS_SPACE, set()).add(ctype)
+        return addr % ADDRESS_SPACE
+
+    @rule(addr=peers)
+    def remove_connection(self, addr):
+        self.table.remove(BrunetAddress(addr))
+        self.model.pop(addr, None)
+
+    @rule(addr=peers, ctype=st.sampled_from(list(ConnectionType)))
+    def add_label(self, addr, ctype):
+        conn = self.table.get(BrunetAddress(addr))
+        if conn is not None:
+            conn.add_type(ctype)
+            self.model[addr].add(ctype)
+
+    @invariant()
+    def model_agrees(self):
+        assert len(self.table) == len(self.model)
+        for addr, labels in self.model.items():
+            conn = self.table.get(BrunetAddress(addr))
+            assert conn is not None
+            assert conn.types == labels
+
+    @invariant()
+    def by_type_consistent(self):
+        for ctype in ConnectionType:
+            expected = {a for a, labels in self.model.items()
+                        if ctype in labels}
+            actual = {int(c.peer_addr) for c in self.table.by_type(ctype)}
+            assert actual == expected
+
+    @invariant()
+    def neighbors_are_nearest_structured(self):
+        structured = [a for a, labels in self.model.items()
+                      if any(t.structured for t in labels)]
+        right = self.table.right_neighbor()
+        if not structured:
+            assert right is None
+        else:
+            expected = min(structured,
+                           key=lambda a: (a - int(ME)) % ADDRESS_SPACE)
+            assert int(right.peer_addr) == expected
+
+    @invariant()
+    def closest_to_me_is_globally_nearest(self):
+        structured = [a for a, labels in self.model.items()
+                      if any(t.structured for t in labels)]
+        best = self.table.closest_to(ME)
+        if not structured:
+            assert best is None
+        else:
+            expected = min(ring_distance(a, ME) for a in structured)
+            assert ring_distance(best.peer_addr, ME) == expected
+
+
+TestTableStateful = TableMachine.TestCase
+TestTableStateful.settings = settings(max_examples=40,
+                                      stateful_step_count=30,
+                                      deadline=None)

@@ -1,0 +1,73 @@
+"""URI parsing and the UriSet advertisement ordering."""
+
+import pytest
+
+from repro.brunet.uri import Uri, UriSet
+from repro.phys.endpoints import Endpoint
+
+
+def test_uri_str_and_parse_roundtrip():
+    uri = Uri.udp("192.0.1.1", 1024)
+    assert str(uri) == "brunet.udp:192.0.1.1:1024"
+    assert Uri.parse(str(uri)) == uri
+
+
+def test_parse_rejects_non_brunet():
+    with pytest.raises(ValueError):
+        Uri.parse("http:1.2.3.4:80")
+
+
+def test_uriset_advertises_local_when_nothing_learned():
+    us = UriSet(Uri.udp("10.0.0.2", 14001))
+    assert us.advertised() == [Uri.udp("10.0.0.2", 14001)]
+
+
+def test_learned_nat_uri_comes_first():
+    """Paper §V-B: nodes try the NAT-assigned public IP/port first."""
+    local = Uri.udp("10.0.0.2", 14001)
+    public = Uri.udp("200.0.0.1", 20000)
+    us = UriSet(local)
+    assert us.learn(public)
+    assert us.advertised() == [public, local]
+
+
+def test_relearning_same_uri_is_not_new():
+    us = UriSet(Uri.udp("10.0.0.2", 14001))
+    pub = Uri.udp("200.0.0.1", 20000)
+    assert us.learn(pub)
+    assert not us.learn(pub)
+
+
+def test_learning_local_is_ignored():
+    local = Uri.udp("10.0.0.2", 14001)
+    us = UriSet(local)
+    assert not us.learn(local)
+    assert us.advertised() == [local]
+
+
+def test_freshest_learned_uri_moves_to_front():
+    """NAT re-translation (§V-E): the newest observed mapping wins."""
+    us = UriSet(Uri.udp("10.0.0.2", 14001))
+    old = Uri.udp("200.0.0.1", 20000)
+    new = Uri.udp("200.0.0.1", 20017)
+    us.learn(old)
+    us.learn(new)
+    assert us.advertised()[0] == new
+    assert us.learn(old)  # re-confirmation brings it back to front
+    assert us.advertised()[0] == old
+
+
+def test_learned_list_bounded():
+    us = UriSet(Uri.udp("10.0.0.2", 14001))
+    for port in range(20000, 20010):
+        us.learn(Uri.udp("200.0.0.1", port))
+    assert len(us.advertised()) <= 5
+
+
+def test_contains():
+    local = Uri.udp("10.0.0.2", 14001)
+    us = UriSet(local)
+    pub = Uri.udp("200.0.0.1", 20000)
+    us.learn(pub)
+    assert local in us and pub in us
+    assert Uri.udp("1.1.1.1", 1) not in us

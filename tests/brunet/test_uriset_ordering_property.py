@@ -1,0 +1,49 @@
+"""Property test: the URI advertisement order invariant.
+
+The paper's Fig. 4 timing depends on the exact trial order: NAT-assigned
+URIs first, locally-bound last.  Whatever sequence of learn events occurs,
+that invariant must hold.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.brunet.uri import Uri, UriSet
+
+local = Uri.udp("10.0.0.2", 14001)
+learned_uris = st.builds(
+    lambda h, p: Uri.udp(f"200.0.0.{h}", p),
+    st.integers(1, 5), st.integers(20000, 20010))
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(learned_uris, max_size=20))
+def test_local_always_last_and_unique(events):
+    us = UriSet(local)
+    for uri in events:
+        us.learn(uri)
+    adv = us.advertised()
+    assert adv[-1] == local
+    assert adv.count(local) == 1
+    assert len(adv) == len(set(adv))  # no duplicates
+    assert len(adv) <= 5  # bounded learned list + local
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(learned_uris, min_size=1, max_size=20))
+def test_most_recent_learning_wins_front(events):
+    us = UriSet(local)
+    for uri in events:
+        us.learn(uri)
+    assert us.advertised()[0] == events[-1]
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(learned_uris, max_size=20))
+def test_learn_is_idempotent_at_front(events):
+    us = UriSet(local)
+    for uri in events:
+        us.learn(uri)
+    before = us.advertised()
+    if len(before) > 1:
+        assert not us.learn(before[0])  # re-learning the front: no change
+        assert us.advertised() == before

@@ -1,0 +1,71 @@
+"""Shared fixtures.
+
+Heavier fixtures (small overlays, mini testbeds) are module-scoped where
+tests only read from them; tests that mutate topology build their own.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.brunet import BrunetConfig, BrunetNode, random_address
+from repro.brunet.uri import Uri
+from repro.phys import Internet, Site
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator(seed=1234)
+
+
+@pytest.fixture
+def internet(sim) -> Internet:
+    return Internet(sim)
+
+
+def build_overlay(sim, internet, n_nodes: int, config=None,
+                  site=None, stagger: float = 5.0):
+    """A public-site overlay of ``n_nodes``; returns (nodes, bootstrap)."""
+    site = site or Site(internet, "pub")
+    config = config or BrunetConfig()
+    rng = sim.rng.stream("tests.overlay")
+    nodes = []
+    bootstrap = []
+    for i in range(n_nodes):
+        host = site.add_host(f"ov{i}-{len(internet.hosts_by_ip)}")
+        node = BrunetNode(sim, host, random_address(rng), config,
+                          name=f"ov{i}")
+        node.start(list(bootstrap))
+        if not bootstrap:
+            bootstrap.append(Uri.udp(host.ip, node.port))
+        nodes.append(node)
+        sim.run(until=sim.now + stagger)
+    sim.run(until=sim.now + 60.0)
+    return nodes, bootstrap
+
+
+@pytest.fixture
+def small_overlay(sim, internet):
+    """12 public nodes in a settled ring."""
+    nodes, bootstrap = build_overlay(sim, internet, 12)
+    return nodes
+
+
+def make_mini_testbed(seed: int = 0, shortcuts: bool = True,
+                      settle: float = 120.0):
+    """A scaled-down paper testbed (12 PL routers, all 33 VMs)."""
+    from repro.core import build_paper_testbed
+    from repro.brunet.config import BrunetConfig as BC
+    s = Simulator(seed=seed, trace=False)
+    tb = build_paper_testbed(
+        s, brunet_config=BC(shortcuts_enabled=shortcuts),
+        n_planetlab_routers=12, n_planetlab_hosts=4, vm_stagger=2.0)
+    tb.run_warmup(settle=settle)
+    return s, tb
+
+
+@pytest.fixture(scope="module")
+def mini_testbed():
+    """Module-scoped warmed-up mini testbed — read-mostly tests only."""
+    return make_mini_testbed()

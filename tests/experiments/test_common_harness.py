@@ -1,0 +1,49 @@
+"""Experiment scaffolding: run_until_signal, make_testbed, warmup."""
+
+import pytest
+
+from repro.experiments.common import make_testbed, run_until_signal
+from repro.sim import Signal, Simulator
+
+
+class TestRunUntilSignal:
+    def test_stops_at_signal(self):
+        sim = Simulator()
+        sig = Signal(sim, "s", latch=True)
+        sim.schedule(10.0, sig.fire, "x")
+        sim.schedule(50.0, lambda: None)  # later noise
+        assert run_until_signal(sim, sig, timeout=100.0)
+        assert sim.now == pytest.approx(10.0)
+
+    def test_times_out(self):
+        sim = Simulator()
+        sig = Signal(sim, "never", latch=True)
+        sim.schedule(1.0, lambda: None)
+        assert not run_until_signal(sim, sig, timeout=5.0)
+        assert sim.now == pytest.approx(5.0)
+
+    def test_already_fired_is_instant(self):
+        sim = Simulator()
+        sig = Signal(sim, "s", latch=True)
+        sig.fire(1)
+        assert run_until_signal(sim, sig, timeout=100.0)
+        assert sim.now == 0.0
+
+
+class TestMakeTestbed:
+    def test_scale_bounds_planetlab(self):
+        setup = make_testbed(seed=1, scale=0.01, settle=60.0)
+        pl = setup.deployment.sites["planetlab"]
+        # floor of 12 routers regardless of scale
+        routers = [n for n in setup.deployment.router_nodes]
+        assert len(routers) == 12
+        assert len(setup.testbed.vms) == 33
+
+    def test_shortcuts_flag_propagates(self):
+        setup = make_testbed(seed=1, scale=0.01, shortcuts=False,
+                             settle=60.0)
+        assert not setup.deployment.brunet_config.shortcuts_enabled
+
+    def test_warmup_reaches_ring_consistency(self):
+        setup = make_testbed(seed=5, scale=0.15)
+        assert setup.deployment.ring_consistent()

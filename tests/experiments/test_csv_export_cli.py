@@ -1,0 +1,24 @@
+"""CSV export through the experiment CLI."""
+
+import csv
+from pathlib import Path
+
+from repro.experiments import run_all
+
+
+def test_fig6_csv_export(tmp_path, capsys):
+    out_dir = tmp_path / "csv"
+    assert run_all.main(["fig6", "--scale", "0.15", "--seed", "4",
+                         "--csv-dir", str(out_dir)]) == 0
+    capsys.readouterr()
+    csv_file = out_dir / "fig6_scp_size.csv"
+    assert csv_file.exists()
+    with open(csv_file) as fh:
+        rows = list(csv.reader(fh))
+    assert rows[0] == ["series", "x", "y"]
+    assert len(rows) > 10
+    # monotone non-decreasing client file size
+    ys = [float(r[2]) for r in rows[1:]]
+    assert all(b >= a for a, b in zip(ys, ys[1:]))
+    # the stall plateau exists: at least two consecutive equal samples
+    assert any(abs(b - a) < 1.0 for a, b in zip(ys, ys[1:]) if a > 0)

@@ -1,0 +1,81 @@
+"""Fig. 4/5 shape tests: the three regimes and their site-pair ordering."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig4_join_profile, fig5_regimes
+from repro.experiments.common import make_testbed
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    setup = make_testbed(seed=2, scale=0.2)
+    return fig4_join_profile.run(setup=setup, trials_per_case=2, count=260)
+
+
+def test_all_cases_measured(profiles):
+    assert set(profiles) == {"UFL-UFL", "UFL-NWU", "NWU-NWU"}
+    for prof in profiles.values():
+        assert prof.trials == 2
+
+
+def test_regime1_initial_losses(profiles):
+    """The first packets are lost while the joining node is unroutable."""
+    for prof in profiles.values():
+        assert prof.loss_pct[0] == 100.0
+
+
+def test_routability_within_seconds(profiles):
+    for case, prof in profiles.items():
+        first = int(np.argmax(prof.rtt_n > 0))
+        assert first <= 15, f"{case} routable only at seq {first}"
+
+
+def test_multihop_rtt_magnitude(profiles):
+    """Regime 2 RTT is dominated by loaded PlanetLab forwarding (~146 ms
+    in the paper)."""
+    prof = profiles["UFL-NWU"]
+    mid = prof.summary()["rtt_mid_ms"]
+    assert 60.0 <= mid <= 320.0
+
+
+def test_direct_rtt_after_shortcut(profiles):
+    """UFL-NWU settles at ~38 ms; the LAN cases at a few ms."""
+    wan = profiles["UFL-NWU"].summary()["rtt_final_ms"]
+    assert 30.0 <= wan <= 50.0
+    for case in ("UFL-UFL", "NWU-NWU"):
+        lan = profiles[case].summary()["rtt_final_ms"]
+        assert lan < 15.0
+
+
+def test_shortcut_timing_ordering(profiles):
+    """The paper's key qualitative result: UFL-UFL shortcuts are delayed by
+    the hairpin-dead URI ladder (~200 pings); the other cases form within
+    tens of pings."""
+    sc = {case: prof.summary()["median_shortcut_seq"]
+          for case, prof in profiles.items()}
+    assert sc["UFL-NWU"] is not None and sc["UFL-NWU"] <= 60
+    assert sc["NWU-NWU"] is not None and sc["NWU-NWU"] <= 60
+    assert sc["UFL-UFL"] is not None
+    assert 120 <= sc["UFL-UFL"] <= 240
+    assert sc["UFL-UFL"] > 2.5 * sc["UFL-NWU"]
+
+
+def test_fig5_regime_summaries(profiles):
+    summaries = fig5_regimes.summarize(profiles)
+    by_case = {s.case: s for s in summaries}
+    for s in summaries:
+        assert 0 <= s.regime1_end < s.regime2_end
+        # loss falls from regime 1 to regime 3
+        assert s.loss_regime1_pct >= s.loss_regime3_pct
+    assert by_case["UFL-UFL"].regime2_end > by_case["NWU-NWU"].regime2_end
+
+
+def test_loss_drops_below_few_percent_after_shortcut(profiles):
+    for case, prof in profiles.items():
+        sc = prof.summary()["median_shortcut_seq"]
+        if sc is None:
+            continue
+        tail = prof.loss_pct[int(sc) + 10:]
+        if tail.size:
+            assert tail.mean() <= 5.0

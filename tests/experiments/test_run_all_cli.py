@@ -1,0 +1,34 @@
+"""The wow-experiments CLI."""
+
+import pytest
+
+from repro.experiments import run_all
+
+
+def test_list_prints_all_experiments(capsys):
+    assert run_all.main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name in run_all.EXPERIMENTS:
+        assert name in out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        run_all.main(["not-an-experiment"])
+
+
+def test_fig6_via_cli(capsys):
+    assert run_all.main(["fig6", "--scale", "0.15", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 6" in out
+    assert "completed without restart  True" in out.replace("   ", "  ") \
+        or "True" in out
+
+
+def test_joincdf_via_cli(capsys):
+    # the smallest CLI path: patch the trial count via direct module call
+    from repro.experiments import join_latency_cdf
+    result = join_latency_cdf.run(seed=1, scale=0.15, trials=3, window=220.0)
+    join_latency_cdf.report(result)
+    out = capsys.readouterr().out
+    assert "routable within 10 s" in out

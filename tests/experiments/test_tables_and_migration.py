@@ -1,0 +1,129 @@
+"""Shape tests for Table II, Table III, Fig. 6, Fig. 7 and the join CDF."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig6_scp_migration,
+    fig7_pbs_migration,
+    join_latency_cdf,
+    table2_bandwidth,
+    table3_fastdnaml,
+)
+from repro.sim.units import MB
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table2_bandwidth.run(seed=3, scale=0.2, repetitions=1,
+                                    sizes=(MB(8.0),))
+
+    def test_shortcuts_win_by_an_order_of_magnitude(self, rows):
+        by = {(r.pair, r.shortcuts): r for r in rows}
+        for pair in ("UFL-UFL", "UFL-NWU"):
+            on = by[(pair, True)].mean_KBps
+            off = by[(pair, False)].mean_KBps
+            assert on / off > 5.0, f"{pair}: {on:.0f} vs {off:.0f}"
+
+    def test_absolute_magnitudes_near_paper(self, rows):
+        by = {(r.pair, r.shortcuts): r for r in rows}
+        assert 1300 <= by[("UFL-UFL", True)].mean_KBps <= 1900
+        assert 1000 <= by[("UFL-NWU", True)].mean_KBps <= 1500
+        assert 50 <= by[("UFL-UFL", False)].mean_KBps <= 160
+        assert 50 <= by[("UFL-NWU", False)].mean_KBps <= 160
+
+    def test_lan_beats_wan_with_shortcuts(self, rows):
+        by = {(r.pair, r.shortcuts): r for r in rows}
+        assert by[("UFL-UFL", True)].mean_KBps > \
+            by[("UFL-NWU", True)].mean_KBps
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table3_fastdnaml.run(seed=4, scale=0.2, taxa=20)
+
+    def test_five_configurations(self, rows):
+        assert len(rows) == 5
+
+    def test_slow_home_node_roughly_half_speed(self, rows):
+        by = {r.config: r for r in rows}
+        ratio = by["sequential node034"].execution_time / \
+            by["sequential node002"].execution_time
+        assert ratio == pytest.approx(1.0 / 0.493, rel=0.05)
+
+    def test_speedup_ordering_matches_paper(self, rows):
+        """Paper ordering: 9.1x (15 nodes) < 11.0x (30, no SC) ≤ 13.6x
+        (30, SC).  At this reduced overlay scale most overlay neighbours
+        are fast compute nodes rather than loaded PlanetLab routers, so
+        the no-shortcut penalty can vanish — the full-scale benchmark
+        (benchmarks/test_bench_table3.py) checks the 30-node gap."""
+        by = {r.config: r for r in rows}
+        s15 = by["15 nodes, shortcuts"].speedup
+        s30_off = by["30 nodes, no shortcuts"].speedup
+        s30_on = by["30 nodes, shortcuts"].speedup
+        assert s15 < s30_off
+        assert s30_on >= 0.98 * s30_off
+
+    def test_shortcut_benefit_not_negative(self, rows):
+        by = {r.config: r for r in rows}
+        gain = by["30 nodes, no shortcuts"].execution_time / \
+            by["30 nodes, shortcuts"].execution_time
+        assert 0.98 <= gain <= 1.7
+
+    def test_speedups_are_sublinear(self, rows):
+        by = {r.config: r for r in rows}
+        assert by["15 nodes, shortcuts"].speedup < 15
+        assert by["30 nodes, shortcuts"].speedup < 30
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig6_scp_migration.run(seed=5, scale=0.2,
+                                      file_size=MB(150.0),
+                                      transfer_size=MB(120.0),
+                                      migrate_at=50.0)
+
+    def test_transfer_survives_migration(self, result):
+        assert result.completed
+
+    def test_rate_improves_after_moving_to_lan(self, result):
+        assert result.post_rate_MBps > result.pre_rate_MBps
+        assert result.pre_rate_MBps == pytest.approx(1.36, rel=0.25)
+        assert result.post_rate_MBps == pytest.approx(1.83, rel=0.25)
+
+    def test_outage_covers_image_transfer(self, result):
+        # 120 MB over a ~1.3 MB/s WAN plus suspend/resume overheads
+        assert 80.0 <= result.outage <= 300.0
+
+    def test_file_size_log_monotone(self, result):
+        sizes = [b for _, b in result.size_log]
+        assert all(b2 >= b1 for b1, b2 in zip(sizes, sizes[1:]))
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig7_pbs_migration.run(seed=6, scale=0.2, jobs_before=8,
+                                      jobs_after=6, transfer_size=MB(60.0))
+
+    def test_all_jobs_complete(self, result):
+        assert result.completed_all
+
+    def test_in_flight_job_stretched_but_successful(self, result):
+        # the in-flight job absorbs most of the migration outage
+        assert result.during_wall > result.pre_mean + 0.5 * result.outage
+
+    def test_post_migration_jobs_faster_on_unloaded_host(self, result):
+        # loaded UFL host (load 1.2, speed 1.0) vs unloaded NWU host (0.83)
+        assert result.post_mean < result.pre_mean
+
+
+class TestJoinCdf:
+    def test_routability_and_direct_connection_claims(self):
+        result = join_latency_cdf.run(seed=7, scale=0.2, trials=8,
+                                      window=240.0)
+        assert result.route_frac_within(10.0) >= 0.7
+        assert result.direct_frac_within(200.0) >= 0.7

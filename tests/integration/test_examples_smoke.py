@@ -1,0 +1,54 @@
+"""Every example script must run end to end (reduced arguments)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str, timeout: float = 420.0) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "joined the P2P ring" in out
+    assert "direct shortcut" in out
+
+
+def test_batch_cluster_small():
+    out = run_example("batch_cluster.py", "40")
+    assert "EM recovered" in out
+    assert "jobs completed" in out
+
+
+def test_parallel_phylogenetics_small():
+    out = run_example("parallel_phylogenetics.py", "12")
+    assert "best tree logL" in out
+    assert "speedup" in out
+
+
+def test_live_migration():
+    out = run_example("live_migration.py")
+    assert "zero application" in out
+    assert "rate after migration" in out
+
+
+def test_decentralized_grid():
+    out = run_example("decentralized_grid.py")
+    assert "decentralized discovery" in out
+    assert "matched and run" in out
+
+
+@pytest.mark.slow
+def test_nat_traversal():
+    out = run_example("nat_traversal.py", timeout=500.0)
+    assert "hole punch" in out
+    assert "URI-ladder fallback" in out

@@ -1,0 +1,68 @@
+"""Connectivity for the testbed's special nodes: ncgrid (single open UDP
+port) and gru (home network behind a NAT chain)."""
+
+import pytest
+
+from repro.ipop import Pinger
+from tests.conftest import make_mini_testbed
+
+
+@pytest.fixture(scope="module")
+def bed():
+    return make_mini_testbed(seed=202)
+
+
+def ping(sim, src_vm, dst_vm, count=8):
+    pinger = Pinger(src_vm.router)
+    done = pinger.run(dst_vm.virtual_ip, count=count, interval=0.5)
+    sim.run(until=sim.now + count * 0.5 + 4)
+    stats = done.value
+    pinger.close()
+    return stats
+
+
+def test_ncgrid_node_joins_through_firewall(bed):
+    sim, tb = bed
+    node032 = tb.vm(32)
+    assert node032.node.in_ring
+    assert node032.host.site.firewall is not None
+
+
+def test_ncgrid_reachable_both_directions(bed):
+    sim, tb = bed
+    node032 = tb.vm(32)
+    out_stats = ping(sim, node032, tb.vm(3))
+    in_stats = ping(sim, tb.vm(3), node032)
+    assert out_stats.loss_fraction() < 0.8
+    assert in_stats.loss_fraction() < 0.8
+
+
+def test_gru_home_node_behind_nat_chain_works(bed):
+    sim, tb = bed
+    node034 = tb.vm(34)
+    assert len(node034.host.nat_chain) == 2
+    assert node034.node.in_ring
+    stats = ping(sim, node034, tb.vm(17))
+    assert stats.loss_fraction() < 0.8
+
+
+def test_gru_learned_uri_is_outermost_nat(bed):
+    sim, tb = bed
+    node034 = tb.vm(34)
+    advertised = node034.node.uris.advertised()
+    outer_ip = tb.deployment.sites["gru"].nat.public_ip
+    assert advertised[0].endpoint.ip == outer_ip
+    assert advertised[-1].endpoint.ip == node034.host.ip
+
+
+def test_gru_survives_isp_remapping(bed):
+    """§V-E: the home node's NAT translations changed 'if and when they
+    happen' and IPOP re-established links autonomously."""
+    sim, tb = bed
+    node034 = tb.vm(34)
+    for nat in node034.host.nat_chain:
+        nat.expire_all()
+    sim.run(until=sim.now + 300)
+    assert node034.node.in_ring
+    stats = ping(sim, tb.vm(3), node034)
+    assert stats.loss_fraction() < 0.8

@@ -1,0 +1,122 @@
+"""Virtual TCP: handshake, ordering, retransmission, migration survival."""
+
+import pytest
+
+from repro.ipop.vtcp import VtcpStack
+from repro.sim.units import MB
+from tests.conftest import make_mini_testbed
+
+
+@pytest.fixture()
+def bed():
+    return make_mini_testbed(seed=17)
+
+
+def make_pair(sim, tb, a_num=3, b_num=4, port=9100):
+    a_vm, b_vm = tb.vm(a_num), tb.vm(b_num)
+    got: list = []
+    server_stack = VtcpStack(b_vm.router)
+    server = server_stack.socket(port, on_message=got.append)
+    server.listen()
+    client_stack = VtcpStack(a_vm.router)
+    client = client_stack.socket(port + 1)
+    client.connect(b_vm.virtual_ip, port)
+    return a_vm, b_vm, client, server, got
+
+
+def test_three_way_handshake(bed):
+    sim, tb = bed
+    _, _, client, server, _ = make_pair(sim, tb)
+    sim.run(until=sim.now + 10)
+    assert client.state == "ESTABLISHED"
+    assert server.state == "ESTABLISHED"
+    assert client.established.fired
+
+
+def test_messages_delivered_in_order(bed):
+    sim, tb = bed
+    _, _, client, server, got = make_pair(sim, tb, 5, 6, 9200)
+    for i in range(25):
+        client.send({"n": i})
+    sim.run(until=sim.now + 60)
+    assert got == [{"n": i} for i in range(25)]
+    assert server.messages_delivered == 25
+
+
+def test_send_before_established_is_buffered(bed):
+    sim, tb = bed
+    _, _, client, server, got = make_pair(sim, tb, 7, 8, 9300)
+    client.send("early")  # still SYN_SENT
+    sim.run(until=sim.now + 10)
+    assert got == ["early"]
+
+
+def test_window_limits_in_flight(bed):
+    sim, tb = bed
+    from repro.ipop.vtcp import DEFAULT_WINDOW
+    _, _, client, server, got = make_pair(sim, tb, 9, 10, 9400)
+    sim.run(until=sim.now + 5)
+    for i in range(50):
+        client.send(i)
+    assert len(client._in_flight) <= DEFAULT_WINDOW
+    sim.run(until=sim.now + 90)
+    assert got == list(range(50))
+
+
+def test_graceful_close(bed):
+    sim, tb = bed
+    _, _, client, server, got = make_pair(sim, tb, 11, 12, 9500)
+    client.send("bye")
+    closed = client.close()
+    sim.run(until=sim.now + 30)
+    assert got == ["bye"]  # close flushes pending data first
+    assert closed.fired
+    assert client.state == "CLOSED"
+    assert server.state == "CLOSED"
+
+
+def test_connection_survives_server_ipop_restart(bed):
+    """The §V-C claim: TCP connection state stays valid across the
+    virtual-network outage of an IPOP restart."""
+    sim, tb = bed
+    a_vm, b_vm, client, server, got = make_pair(sim, tb, 13, 14, 9600)
+    client.send("before")
+    sim.run(until=sim.now + 10)
+    assert got == ["before"]
+    b_vm.restart_ipop()  # kills connectivity until rejoin
+    client.send("during-outage")
+    sim.run(until=sim.now + 240)
+    assert "during-outage" in got
+    assert client.retransmissions > 0
+    assert client.state == "ESTABLISHED"
+
+
+def test_connection_survives_migration(bed):
+    sim, tb = bed
+    a_vm, b_vm, client, server, got = make_pair(sim, tb, 15, 16, 9700)
+    sim.run(until=sim.now + 5)
+    done = b_vm.migrate(tb.deployment.sites["nwu"], transfer_size=MB(20.0))
+    client.send("across-the-wan")
+    sim.run(until=sim.now + 600)
+    assert done.fired
+    assert "across-the-wan" in got
+    assert client.state == "ESTABLISHED"
+
+
+def test_duplicate_port_rejected(bed):
+    sim, tb = bed
+    stack = VtcpStack(tb.vm(17).router)
+    stack.socket(9800)
+    with pytest.raises(ValueError):
+        stack.socket(9800)
+    stack.release(9800)
+    stack.socket(9800)  # reusable after release
+
+
+def test_connect_twice_rejected(bed):
+    sim, tb = bed
+    stack = VtcpStack(tb.vm(18).router)
+    sock = stack.socket(9900)
+    sock.connect(tb.vm(19).virtual_ip, 1)
+    with pytest.raises(RuntimeError):
+        sock.connect(tb.vm(19).virtual_ip, 1)

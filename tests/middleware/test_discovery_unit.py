@@ -1,0 +1,31 @@
+"""Discovery unit pieces that need no testbed."""
+
+import pytest
+
+from repro.middleware.discovery import FAST_CPU, SLOW_CPU, ResourceAd
+
+
+@pytest.mark.parametrize("speed,expected", [
+    (1.33, "cpu:fast"),
+    (FAST_CPU, "cpu:fast"),
+    (1.0, "cpu:standard"),
+    (SLOW_CPU, "cpu:slow"),
+    (0.49, "cpu:slow"),
+])
+def test_cpu_class_boundaries(speed, expected):
+    ad = ResourceAd("n", "ip", speed, 1, "ufl")
+    assert expected in ad.capability_keys()
+
+
+def test_every_ad_carries_site_and_pool_keys():
+    ad = ResourceAd("n", "ip", 1.0, 0, "vims")
+    keys = ad.capability_keys()
+    assert "site:vims" in keys
+    assert "workers:any" in keys
+
+
+def test_slots_key_only_when_free():
+    busy = ResourceAd("n", "ip", 1.0, 0, "ufl")
+    free = ResourceAd("n", "ip", 1.0, 2, "ufl")
+    assert "slots:free" not in busy.capability_keys()
+    assert "slots:free" in free.capability_keys()

@@ -1,0 +1,122 @@
+"""NFS, SCP and ttcp over the virtual network."""
+
+import pytest
+
+from repro.middleware.nfs import NfsClient, NfsServer
+from repro.middleware.ssh import ScpClient, ScpServer
+from repro.middleware.ttcp import ttcp_measure
+from repro.sim.process import Process
+from repro.sim.units import KB, MB
+from tests.conftest import make_mini_testbed
+
+
+@pytest.fixture(scope="module")
+def bed():
+    return make_mini_testbed(seed=31)
+
+
+class TestNfs:
+    def test_read_existing_file(self, bed):
+        sim, tb = bed
+        head, worker = tb.vm(2), tb.vm(3)
+        server = NfsServer(head)
+        server.export("input.dat", KB(200))
+        client = NfsClient(worker, head.virtual_ip)
+        out = {}
+
+        def proc():
+            n = yield from client.read("input.dat")
+            out["n"] = n
+
+        Process(sim, proc())
+        sim.run(until=sim.now + 120)
+        assert out["n"] == KB(200)
+        assert server.reads == 1
+        server.close()
+        client.close()
+
+    def test_read_missing_file_returns_zero(self, bed):
+        sim, tb = bed
+        head, worker = tb.vm(2), tb.vm(4)
+        server = NfsServer(head)
+        client = NfsClient(worker, head.virtual_ip)
+        out = {}
+
+        def proc():
+            n = yield from client.read("nope.dat")
+            out["n"] = n
+
+        Process(sim, proc())
+        sim.run(until=sim.now + 60)
+        assert out["n"] == 0.0
+        server.close()
+        client.close()
+
+    def test_write_creates_file_on_server(self, bed):
+        sim, tb = bed
+        head, worker = tb.vm(2), tb.vm(5)
+        server = NfsServer(head)
+        client = NfsClient(worker, head.virtual_ip)
+        out = {}
+
+        def proc():
+            n = yield from client.write("out.dat", KB(100))
+            out["n"] = n
+
+        Process(sim, proc())
+        sim.run(until=sim.now + 120)
+        assert out["n"] == KB(100)
+        assert server.files["out.dat"] == KB(100)
+        assert server.writes == 1
+        server.close()
+        client.close()
+
+
+class TestScp:
+    def test_download_completes(self, bed):
+        sim, tb = bed
+        server_vm, client_vm = tb.vm(6), tb.vm(18)
+        scp_server = ScpServer(server_vm)
+        scp_server.put_file("data.bin", MB(3.0))
+        client = ScpClient(client_vm, server_vm.virtual_ip)
+        proc = Process(sim, client.download("data.bin"))
+        sim.run(until=sim.now + 400)
+        assert proc.done.fired
+        xfer = proc.done.value
+        assert xfer is not None and xfer.completed
+        log = client.local_size_log()
+        assert log[-1][1] == pytest.approx(MB(3.0), rel=0.01)
+        # monotone non-decreasing local file size
+        sizes = [b for _, b in log]
+        assert all(b2 >= b1 for b1, b2 in zip(sizes, sizes[1:]))
+        scp_server.close()
+        client.close()
+
+    def test_download_missing_file(self, bed):
+        sim, tb = bed
+        server_vm, client_vm = tb.vm(7), tb.vm(19)
+        scp_server = ScpServer(server_vm)
+        client = ScpClient(client_vm, server_vm.virtual_ip)
+        proc = Process(sim, client.download("ghost.bin"))
+        sim.run(until=sim.now + 60)
+        assert proc.done.fired and proc.done.value is None
+        scp_server.close()
+        client.close()
+
+
+class TestTtcp:
+    def test_goodput_reflects_efficiency(self, bed):
+        sim, tb = bed
+        a, b = tb.vm(8), tb.vm(9)  # both UFL: LAN path once shortcut is up
+        out = {}
+
+        def proc():
+            rate = yield from ttcp_measure(a, b, MB(6.0))
+            out["rate"] = rate
+
+        Process(sim, proc())
+        sim.run(until=sim.now + 600)
+        assert out["rate"] > 0
+        # goodput can never exceed the LAN capacity × efficiency
+        cap = tb.deployment.calib.ufl_lan_capacity / 1024.0
+        assert out["rate"] <= cap + 1.0

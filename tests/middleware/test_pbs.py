@@ -1,0 +1,110 @@
+"""PBS server + MOM lifecycle over the virtual network."""
+
+import pytest
+
+from repro.apps.meme import MemeWorkload
+from repro.middleware.nfs import NfsServer
+from repro.middleware.pbs import JobSpec, PbsMom, PbsServer
+from repro.sim.units import KB
+from tests.conftest import make_mini_testbed
+
+
+@pytest.fixture()
+def pbs_bed():
+    sim, tb = make_mini_testbed(seed=51)
+    head = tb.head
+    nfs = NfsServer(head)
+    nfs.export("job.in", KB(50))
+    pbs = PbsServer(head)
+    moms = []
+    for w in tb.workers()[:4]:
+        moms.append(PbsMom(w, head.virtual_ip))
+        pbs.register_worker(w.virtual_ip)
+    return sim, tb, pbs, nfs, moms
+
+
+def spec(work=5.0):
+    return JobSpec("job", work_ref=work, input_size=KB(50),
+                   output_size=KB(20))
+
+
+def test_single_job_lifecycle(pbs_bed):
+    sim, tb, pbs, nfs, moms = pbs_bed
+    record = pbs.qsub(spec())
+    sim.run(until=sim.now + 300)
+    assert record.status == "done"
+    assert record.dispatch_time >= record.submit_time
+    assert record.start_time is not None
+    assert record.end_time > record.start_time
+    assert record.wall_time > 5.0  # compute + staging
+    assert record.node_name  # assigned a worker
+
+
+def test_jobs_fan_out_over_workers(pbs_bed):
+    sim, tb, pbs, nfs, moms = pbs_bed
+    records = [pbs.qsub(spec()) for _ in range(8)]
+    sim.run(until=sim.now + 900)
+    assert all(r.status == "done" for r in records)
+    used = {r.node_name for r in records}
+    assert len(used) >= 3  # spread across the 4 workers
+
+
+def test_output_files_land_on_head(pbs_bed):
+    sim, tb, pbs, nfs, moms = pbs_bed
+    record = pbs.qsub(spec())
+    sim.run(until=sim.now + 300)
+    outs = [name for name in nfs.files if name.startswith("job.out")]
+    assert len(outs) == 1
+
+
+def test_expect_fires_all_done(pbs_bed):
+    sim, tb, pbs, nfs, moms = pbs_bed
+    done = pbs.expect(5)
+    for _ in range(5):
+        pbs.qsub(spec(work=2.0))
+    sim.run(until=sim.now + 900)
+    assert done.fired and done.value == 5
+
+
+def test_throughput_accounting(pbs_bed):
+    sim, tb, pbs, nfs, moms = pbs_bed
+    for _ in range(6):
+        pbs.qsub(spec(work=2.0))
+    sim.run(until=sim.now + 900)
+    assert pbs.throughput_jobs_per_minute() > 0
+
+
+def test_worker_register_via_rpc(pbs_bed):
+    sim, tb, pbs, nfs, moms = pbs_bed
+    extra = tb.workers()[5]
+    mom = PbsMom(extra, tb.head.virtual_ip)
+    mom.register()
+    sim.run(until=sim.now + 30)
+    assert extra.virtual_ip in pbs.free_workers
+
+
+def test_meme_workload_generates_calibrated_specs():
+    from repro.core.config import CalibrationConfig
+    import numpy as np
+    calib = CalibrationConfig()
+    rng = np.random.default_rng(0)
+    wl = MemeWorkload(calib, rng)
+    jobs = wl.jobs(200)
+    works = np.array([j.work_ref for j in jobs])
+    assert works.mean() == pytest.approx(calib.meme_base_work, rel=0.05)
+    assert all(j.input_size == calib.meme_input_size for j in jobs)
+
+
+def test_worker_death_marks_job_failed_and_pool_continues(pbs_bed):
+    """A worker that dies mid-handshake exhausts the head's RPC retries;
+    the job is marked failed and the remaining workers keep serving."""
+    sim, tb, pbs, nfs, moms = pbs_bed
+    victim_ip = pbs.free_workers[0]
+    victim = next(vm for vm in tb.vms.values()
+                  if vm.virtual_ip == victim_ip)
+    victim.stop()
+    records = [pbs.qsub(spec(work=2.0)) for _ in range(4)]
+    sim.run(until=sim.now + 1200)
+    statuses = [r.status for r in records]
+    assert statuses.count("failed") <= 1  # only the one sent to the corpse
+    assert statuses.count("done") >= 3

@@ -1,0 +1,82 @@
+"""PVM master/worker: dynamic dispatch, barriers, heterogeneity."""
+
+import pytest
+
+from repro.middleware.pvm import PvmMaster, PvmTask
+from repro.sim.units import KB
+from tests.conftest import make_mini_testbed
+
+
+@pytest.fixture()
+def bed():
+    return make_mini_testbed(seed=61)
+
+
+def tasks(n, work=3.0):
+    return [PvmTask(work_ref=work, send_size=KB(10), recv_size=KB(5))
+            for _ in range(n)]
+
+
+def test_single_round_completes(bed):
+    sim, tb = bed
+    master = PvmMaster(tb.head)
+    for w in tb.workers()[:4]:
+        master.add_worker(w)
+    done = master.run_rounds([tasks(8)])
+    sim.run(until=sim.now + 600)
+    assert done.fired
+    assert len(master.results) == 8
+    assert len(master.round_times) == 1
+
+
+def test_barrier_between_rounds(bed):
+    sim, tb = bed
+    master = PvmMaster(tb.head)
+    for w in tb.workers()[:3]:
+        master.add_worker(w)
+    done = master.run_rounds([tasks(5), tasks(5)])
+    sim.run(until=sim.now + 900)
+    assert done.fired
+    first_round = [t for t in master.results[:5]]
+    second_round = [t for t in master.results[5:]]
+    # every task of round 1 completed before any dispatch of round 2
+    assert max(t.completed_at for t in first_round) <= \
+        min(t.dispatched_at for t in second_round)
+
+
+def test_dynamic_dispatch_balances_heterogeneous_speeds(bed):
+    sim, tb = bed
+    master = PvmMaster(tb.head)
+    fast = tb.vm(30)   # 1.33x
+    slow = tb.vm(32)   # 0.54x
+    wf = master.add_worker(fast)
+    ws = master.add_worker(slow)
+    done = master.run_rounds([tasks(12, work=4.0)])
+    sim.run(until=sim.now + 900)
+    assert done.fired
+    assert wf.tasks_done > ws.tasks_done  # pool feeds the fast node more
+
+
+def test_parallel_faster_than_serial(bed):
+    sim, tb = bed
+    work = tasks(12, work=5.0)
+    master = PvmMaster(tb.head)
+    for w in tb.workers()[:6]:
+        master.add_worker(w)
+    done = master.run_rounds([work])
+    t0 = sim.now
+    sim.run(until=sim.now + 900)
+    elapsed = done.value
+    serial_estimate = 12 * 5.0  # even ignoring overheads
+    assert elapsed < serial_estimate
+
+
+def test_task_accounting_fields(bed):
+    sim, tb = bed
+    master = PvmMaster(tb.head)
+    master.add_worker(tb.vm(3))
+    done = master.run_rounds([tasks(2)])
+    sim.run(until=sim.now + 600)
+    for t in master.results:
+        assert t.worker == tb.vm(3).name
+        assert t.completed_at > t.dispatched_at > 0

@@ -1,0 +1,61 @@
+"""The exact §V-C1 storyline as an integration test: a long SCP download
+whose *server* migrates mid-transfer, including the client-side file-size
+profile shape of Fig. 6."""
+
+import pytest
+
+from repro.middleware.ssh import ScpClient, ScpServer
+from repro.sim.process import Process
+from repro.sim.units import MB
+from tests.conftest import make_mini_testbed
+
+
+def test_scp_server_migration_profile():
+    sim, tb = make_mini_testbed(seed=404)
+    dep = tb.deployment
+    server_vm, client_vm = tb.vm(3), tb.vm(17)
+    server = ScpServer(server_vm)
+    server.put_file("big.dat", MB(60.0))
+    client = ScpClient(client_vm, server_vm.virtual_ip)
+    t0 = sim.now
+    dl = Process(sim, client.download("big.dat"))
+    sim.run(until=sim.now + 15)
+    assert not dl.done.fired
+
+    done = server_vm.migrate(dep.sites["nwu"], transfer_size=MB(40.0))
+    sim.run(until=sim.now + 1500)
+    assert done.fired and dl.done.fired
+    xfer = dl.done.value
+    assert xfer is not None and xfer.completed
+
+    log = client.local_size_log()
+    sizes = [b for _, b in log]
+    times = [t for t, _ in log]
+    # final size equals the file
+    assert sizes[-1] == pytest.approx(MB(60.0), rel=0.01)
+    # a stall plateau exists during the outage
+    rec = done.value
+    in_outage = [b for t, b in log
+                 if rec.started_at <= t <= rec.resumed_at]
+    if len(in_outage) >= 2:
+        assert max(in_outage) - min(in_outage) < MB(0.5)
+    # transfer resumed after the outage (size strictly grows afterwards)
+    after = [b for t, b in log if t > rec.resumed_at + 5]
+    assert after and after[-1] > (in_outage[-1] if in_outage else 0)
+
+
+def test_scp_client_migration_also_survives():
+    """Symmetric case: the *client* VM migrates; the download still
+    completes (connection state follows the virtual IP)."""
+    sim, tb = make_mini_testbed(seed=405)
+    dep = tb.deployment
+    server_vm, client_vm = tb.vm(4), tb.vm(18)
+    server = ScpServer(server_vm)
+    server.put_file("data.dat", MB(40.0))
+    client = ScpClient(client_vm, server_vm.virtual_ip)
+    dl = Process(sim, client.download("data.dat"))
+    sim.run(until=sim.now + 10)
+    done = client_vm.migrate(dep.sites["lsu"], transfer_size=MB(30.0))
+    sim.run(until=sim.now + 1500)
+    assert done.fired and dl.done.fired
+    assert dl.done.value is not None and dl.done.value.completed

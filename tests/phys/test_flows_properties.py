@@ -1,0 +1,86 @@
+"""Property-based tests on the max-min fair flow allocator."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.phys.flows import Flow, FlowManager, Resource
+from repro.sim import Simulator
+
+
+@st.composite
+def flow_systems(draw):
+    n_resources = draw(st.integers(1, 6))
+    capacities = [draw(st.floats(10.0, 1e6)) for _ in range(n_resources)]
+    n_flows = draw(st.integers(1, 8))
+    paths = []
+    for _ in range(n_flows):
+        k = draw(st.integers(1, n_resources))
+        paths.append(sorted(draw(st.sets(
+            st.integers(0, n_resources - 1), min_size=1, max_size=k))))
+    sizes = [draw(st.floats(100.0, 1e7)) for _ in range(n_flows)]
+    return capacities, paths, sizes
+
+
+def build(capacities, paths, sizes):
+    sim = Simulator(seed=0, trace=False)
+    fm = FlowManager(sim)
+    resources = [Resource(f"r{i}", c) for i, c in enumerate(capacities)]
+    flows = [Flow(fm, f"f{i}", size, [resources[j] for j in path])
+             for i, (path, size) in enumerate(zip(paths, sizes))]
+    return sim, fm, resources, flows
+
+
+@settings(max_examples=60, deadline=None)
+@given(flow_systems())
+def test_no_resource_oversubscribed(system):
+    capacities, paths, sizes = system
+    sim, fm, resources, flows = build(capacities, paths, sizes)
+    for i, res in enumerate(resources):
+        used = sum(f.rate for f in flows
+                   if i in paths[flows.index(f)])
+        assert used <= res.capacity * (1 + 1e-6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(flow_systems())
+def test_rates_nonnegative_and_work_conserving(system):
+    capacities, paths, sizes = system
+    sim, fm, resources, flows = build(capacities, paths, sizes)
+    assert all(f.rate >= 0 for f in flows)
+    # work conservation: every flow is bottlenecked somewhere (it could go
+    # faster only by exceeding some resource on its path)
+    for f, path in zip(flows, paths):
+        saturated = False
+        for i in path:
+            used = sum(g.rate for g, p in zip(flows, paths) if i in p)
+            if used >= capacities[i] * (1 - 1e-6):
+                saturated = True
+                break
+        assert saturated, f"{f.name} not bottlenecked"
+
+
+@settings(max_examples=40, deadline=None)
+@given(flow_systems())
+def test_all_flows_eventually_complete(system):
+    capacities, paths, sizes = system
+    sim, fm, resources, flows = build(capacities, paths, sizes)
+    horizon = max(sizes) * len(flows) / min(capacities) + 10.0
+    sim.run(until=horizon, max_events=200_000)
+    assert all(f.completed for f in flows)
+    for f in flows:
+        # conservation: exactly size bytes moved
+        assert abs(f.transferred - f.size) < 1e-3 * f.size + 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(flow_systems(), st.floats(0.01, 100.0))
+def test_progress_is_monotone(system, checkpoint):
+    capacities, paths, sizes = system
+    sim, fm, resources, flows = build(capacities, paths, sizes)
+    sim.run(until=checkpoint, max_events=100_000)
+    fm.advance()
+    snapshot = [f.transferred for f in flows]
+    sim.run(until=checkpoint * 2, max_events=100_000)
+    fm.advance()
+    for before, f in zip(snapshot, flows):
+        assert f.transferred >= before - 1e-9

@@ -1,0 +1,73 @@
+"""Property-based tests on NAT translation invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.phys.endpoints import Endpoint
+from repro.phys.nat import FilteringBehavior, MappingBehavior, Nat, NatSpec
+
+ports = st.integers(1, 65535)
+inner_eps = st.builds(lambda p: Endpoint("10.1.0.2", p), ports)
+remote_eps = st.builds(lambda h, p: Endpoint(f"128.0.0.{h}", p),
+                       st.integers(2, 250), ports)
+
+specs = st.builds(
+    NatSpec,
+    st.sampled_from(list(MappingBehavior)),
+    st.sampled_from(list(FilteringBehavior)),
+    st.booleans(),
+    st.floats(10.0, 1e6),
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(specs, inner_eps, st.lists(remote_eps, min_size=1, max_size=6))
+def test_reply_from_contacted_remote_always_translates_back(spec, inner,
+                                                            remotes):
+    """Whatever the behaviour combination, a reply from an endpoint the
+    inner socket contacted must reach it (this is what makes any
+    client/server protocol work through NAT)."""
+    nat = Nat("n", "200.0.0.1", "10.1.", spec)
+    for remote in remotes:
+        pub = nat.translate_outbound("udp", inner, remote)
+        assert nat.translate_inbound("udp", pub.port, remote) == inner
+
+
+@settings(max_examples=80, deadline=None)
+@given(specs, inner_eps, remote_eps)
+def test_public_endpoint_is_public_ip(spec, inner, remote):
+    nat = Nat("n", "200.0.0.1", "10.1.", spec)
+    pub = nat.translate_outbound("udp", inner, remote)
+    assert pub.ip == "200.0.0.1"
+    assert pub.port != inner.port or True  # port may coincide; ip must not
+    assert not nat.is_inside(pub.ip)
+
+
+@settings(max_examples=50, deadline=None)
+@given(inner_eps, st.lists(remote_eps, min_size=2, max_size=6, unique=True))
+def test_eim_uses_one_public_port_per_socket(inner, remotes):
+    nat = Nat("n", "200.0.0.1", "10.1.", NatSpec.cone())
+    pubs = {nat.translate_outbound("udp", inner, r) for r in remotes}
+    assert len(pubs) == 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(inner_eps, st.lists(remote_eps, min_size=2, max_size=6, unique=True))
+def test_symmetric_uses_fresh_port_per_remote(inner, remotes):
+    nat = Nat("n", "200.0.0.1", "10.1.", NatSpec.symmetric())
+    pubs = {nat.translate_outbound("udp", inner, r) for r in remotes}
+    assert len(pubs) == len(remotes)
+
+
+@settings(max_examples=50, deadline=None)
+@given(specs, st.lists(st.tuples(inner_eps, remote_eps), min_size=2,
+                       max_size=8))
+def test_distinct_inner_sockets_get_distinct_mappings(spec, pairs):
+    nat = Nat("n", "200.0.0.1", "10.1.", spec)
+    seen: dict[int, Endpoint] = {}
+    for inner, remote in pairs:
+        pub = nat.translate_outbound("udp", inner, remote)
+        back = nat.translate_inbound("udp", pub.port, remote)
+        assert back == inner  # a mapping never leaks to another socket
+        if pub.port in seen:
+            assert seen[pub.port] == inner
+        seen[pub.port] = inner

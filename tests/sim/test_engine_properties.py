@@ -1,0 +1,68 @@
+"""Property-based tests on the event kernel."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Simulator
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.floats(0.0, 1e6, allow_nan=False), min_size=1,
+                max_size=60))
+def test_events_fire_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for d in delays:
+        sim.schedule(d, lambda d=d: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+    assert sim.now == max(delays)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.floats(0.0, 1000.0), st.booleans()),
+                min_size=1, max_size=40))
+def test_cancelled_events_never_fire(items):
+    sim = Simulator()
+    fired = []
+    events = []
+    for i, (delay, cancel) in enumerate(items):
+        events.append((sim.schedule(delay, fired.append, i), cancel))
+    for ev, cancel in events:
+        if cancel:
+            ev.cancel()
+    sim.run()
+    expected = {i for i, (_, cancel) in enumerate(items) if not cancel}
+    assert set(fired) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.floats(0.0, 100.0), min_size=1, max_size=30),
+       st.floats(0.0, 100.0))
+def test_run_until_is_a_clean_partition(delays, cut):
+    """Events strictly before the cut fire; the rest fire on the next run."""
+    sim = Simulator()
+    fired = []
+    for d in delays:
+        sim.schedule(d, lambda d=d: fired.append(d))
+    sim.run(until=cut)
+    assert all(d <= cut for d in fired)
+    before = len(fired)
+    sim.run()
+    assert len(fired) == len(delays)
+    assert fired[before:] == sorted(fired[before:])
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 2 ** 31 - 1), st.integers(1, 30))
+def test_same_seed_same_event_stream(seed, n):
+    def run():
+        sim = Simulator(seed=seed)
+        rng = sim.rng.stream("p")
+        log = []
+        for _ in range(n):
+            sim.schedule(float(rng.random() * 10), lambda: log.append(sim.now))
+        sim.run()
+        return log
+
+    assert run() == run()

@@ -1,0 +1,188 @@
+"""Generator-process semantics: timeouts, signals, interruption."""
+
+import pytest
+
+from repro.sim import AllOf, Process, Signal, Simulator, Timeout, WaitSignal
+
+
+def test_timeout_sequencing():
+    sim = Simulator()
+    log = []
+
+    def worker():
+        log.append(("start", sim.now))
+        yield Timeout(2.5)
+        log.append(("mid", sim.now))
+        yield Timeout(1.5)
+        log.append(("end", sim.now))
+
+    Process(sim, worker())
+    sim.run()
+    assert log == [("start", 0.0), ("mid", 2.5), ("end", 4.0)]
+
+
+def test_done_signal_carries_return_value():
+    sim = Simulator()
+
+    def worker():
+        yield Timeout(1.0)
+        return 42
+
+    proc = Process(sim, worker())
+    sim.run()
+    assert proc.done.fired
+    assert proc.done.value == 42
+    assert not proc.alive
+
+
+def test_wait_signal_resumes_with_value():
+    sim = Simulator()
+    sig = Signal(sim, "s")
+    got = []
+
+    def waiter():
+        value = yield WaitSignal(sig)
+        got.append(value)
+
+    Process(sim, waiter())
+    sim.schedule(3.0, sig.fire, "payload")
+    sim.run()
+    assert got == ["payload"]
+
+
+def test_wait_signal_timeout():
+    sim = Simulator()
+    sig = Signal(sim, "never")
+    got = []
+
+    def waiter():
+        value = yield WaitSignal(sig, timeout=5.0)
+        got.append((value is WaitSignal.TIMED_OUT, sim.now))
+
+    Process(sim, waiter())
+    sim.run()
+    assert got == [(True, 5.0)]
+
+
+def test_wait_signal_timeout_not_taken_when_fired_first():
+    sim = Simulator()
+    sig = Signal(sim, "s")
+    got = []
+
+    def waiter():
+        value = yield WaitSignal(sig, timeout=5.0)
+        got.append(value)
+
+    Process(sim, waiter())
+    sim.schedule(1.0, sig.fire, "早い")
+    sim.run()
+    assert got == ["早い"]
+    assert sim.now < 5.0 or sim.pending() == 0
+
+
+def test_latched_signal_resumes_late_waiter():
+    sim = Simulator()
+    sig = Signal(sim, "latch", latch=True)
+    sig.fire("done")
+    got = []
+
+    def late():
+        value = yield WaitSignal(sig)
+        got.append(value)
+
+    Process(sim, late())
+    sim.run()
+    assert got == ["done"]
+
+
+def test_latched_signal_fires_once():
+    sim = Simulator()
+    sig = Signal(sim, "latch", latch=True)
+    sig.fire(1)
+    sig.fire(2)
+    assert sig.value == 1
+
+
+def test_allof_waits_for_every_signal():
+    sim = Simulator()
+    sigs = [Signal(sim, f"s{i}") for i in range(3)]
+    got = []
+
+    def waiter():
+        values = yield AllOf(sigs)
+        got.append((list(values), sim.now))
+
+    Process(sim, waiter())
+    for i, sig in enumerate(sigs):
+        sim.schedule(float(i + 1), sig.fire, i * 10)
+    sim.run()
+    assert got == [([0, 10, 20], 3.0)]
+
+
+def test_allof_empty_resumes_immediately():
+    sim = Simulator()
+    got = []
+
+    def waiter():
+        values = yield AllOf([])
+        got.append(values)
+
+    Process(sim, waiter())
+    sim.run()
+    assert got == [[]]
+
+
+def test_interrupt_kills_process():
+    sim = Simulator()
+    log = []
+
+    def worker():
+        log.append("a")
+        yield Timeout(10.0)
+        log.append("b")  # pragma: no cover - must not run
+
+    proc = Process(sim, worker())
+    sim.schedule(1.0, proc.interrupt)
+    sim.run()
+    assert log == ["a"]
+    assert not proc.alive
+    assert proc.done.fired and proc.done.value is None
+
+
+def test_yielding_bare_signal_works():
+    sim = Simulator()
+    sig = Signal(sim, "bare")
+    got = []
+
+    def waiter():
+        value = yield sig
+        got.append(value)
+
+    Process(sim, waiter())
+    sim.schedule(2.0, sig.fire, "ok")
+    sim.run()
+    assert got == ["ok"]
+
+
+def test_unsupported_yield_raises():
+    sim = Simulator()
+
+    def bad():
+        yield 12345
+
+    with pytest.raises(TypeError):
+        Process(sim, bad())
+
+
+def test_signal_fire_resumes_multiple_waiters():
+    sim = Simulator()
+    sig = Signal(sim, "multi")
+    got = []
+    for i in range(3):
+        def waiter(i=i):
+            value = yield WaitSignal(sig)
+            got.append((i, value))
+        Process(sim, waiter())
+    sim.schedule(1.0, sig.fire, "x")
+    sim.run()
+    assert sorted(got) == [(0, "x"), (1, "x"), (2, "x")]

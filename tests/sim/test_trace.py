@@ -1,0 +1,83 @@
+"""Tracer and TimeSeries."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim.trace import TimeSeries, Tracer, cdf, fraction_below
+
+
+def test_tracer_records_and_counts():
+    tr = Tracer()
+    tr.record(1.0, "evt", {"x": 1})
+    tr.record(2.0, "evt", {"x": 2})
+    tr.record(3.0, "other")
+    assert tr.count("evt") == 2
+    assert tr.get("evt")[1] == (2.0, {"x": 2})
+    assert tr.categories() == ["evt", "other"]
+
+
+def test_disabled_tracer_counts_but_does_not_store():
+    tr = Tracer(enabled=False)
+    tr.record(1.0, "evt", {"x": 1})
+    assert tr.count("evt") == 1
+    assert tr.get("evt") == []
+
+
+def test_series_extraction_with_filter():
+    tr = Tracer()
+    for i in range(5):
+        tr.record(float(i), "m", {"v": i, "keep": i % 2 == 0})
+    ts = tr.series("m", "v", where=lambda d: d["keep"])
+    assert list(ts.values) == [0.0, 2.0, 4.0]
+
+
+def test_timeseries_statistics():
+    ts = TimeSeries("t")
+    for i, v in enumerate([1.0, 2.0, 3.0, 4.0]):
+        ts.add(float(i), v)
+    assert ts.mean() == pytest.approx(2.5)
+    assert ts.std() == pytest.approx(np.std([1, 2, 3, 4]))
+    assert ts.percentile(50) == pytest.approx(2.5)
+    assert len(ts) == 4
+
+
+def test_timeseries_empty_stats_are_nan():
+    ts = TimeSeries()
+    assert math.isnan(ts.mean())
+    assert math.isnan(ts.std())
+
+
+def test_timeseries_window():
+    ts = TimeSeries()
+    for i in range(10):
+        ts.add(float(i), float(i))
+    w = ts.window(2.0, 5.0)
+    assert list(w.times) == [2.0, 3.0, 4.0]
+
+
+def test_cdf_shape():
+    xs, fr = cdf([3.0, 1.0, 2.0])
+    assert list(xs) == [1.0, 2.0, 3.0]
+    assert fr[-1] == pytest.approx(1.0)
+    assert fr[0] == pytest.approx(1 / 3)
+
+
+def test_cdf_empty():
+    xs, fr = cdf([])
+    assert xs.size == 0 and fr.size == 0
+
+
+def test_fraction_below():
+    assert fraction_below([1, 2, 3, 4], 3) == pytest.approx(0.5)
+    assert fraction_below([], 3) == 1.0
+    assert fraction_below([float("inf")], 1e9) == 0.0
+
+
+def test_tracer_clear():
+    tr = Tracer()
+    tr.record(0.0, "a")
+    tr.clear()
+    assert tr.count("a") == 0
+    assert tr.get("a") == []
