@@ -1,0 +1,249 @@
+#!/usr/bin/env python
+"""Substrate performance report: micro ops/sec + experiment wall-clocks.
+
+Writes ``BENCH_substrate.json`` so every future PR has a perf trajectory
+to regress against, and (with ``--check``) compares a fresh run to the
+committed numbers.
+
+Usage::
+
+    python benchmarks/report.py                  # full run, write JSON
+    python benchmarks/report.py --smoke --check  # quick CI regression gate
+
+Because absolute throughput varies wildly across machines, the regression
+check is *normalized*: every metric is divided by a pure-Python
+calibration loop measured in the same process, and only the normalized
+ratios are compared (default tolerance: 25% regression).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+DEFAULT_JSON = REPO_ROOT / "BENCH_substrate.json"
+
+#: metrics measured in ops/sec (higher is better); wall-clocks (seconds,
+#: lower is better) are everything else
+OPS_SUFFIX = "_ops_per_s"
+
+
+def _calibration_ops_per_s() -> float:
+    """A fixed pure-Python workload used to normalize across machines."""
+    t0 = time.perf_counter()
+    acc = 0
+    for i in range(2_000_000):
+        acc += i & 1023
+    dt = time.perf_counter() - t0
+    return 2_000_000 / dt
+
+
+def bench_event_throughput() -> float:
+    """Plain schedule+fire throughput (test_event_loop_throughput shape)."""
+    from repro.sim import Simulator
+    n = 20_000
+    t0 = time.perf_counter()
+    sim = Simulator(seed=0, trace=False)
+    for i in range(n):
+        sim.schedule(i * 0.001, _noop)
+    sim.run()
+    return n * 2 / (time.perf_counter() - t0)  # schedule + fire
+
+
+def bench_event_churn() -> float:
+    """Timer churn: far-future schedule immediately cancelled, the shape of
+    keep-alive timers and flow completion estimates under re-pathing."""
+    from repro.sim import Simulator
+    n = 60_000
+    sim = Simulator(seed=0, trace=False)
+    t0 = time.perf_counter()
+    for i in range(n):
+        ev = sim.schedule(500.0 + (i % 97), _noop)
+        ev.cancel()
+        if i % 64 == 0:
+            sim.pending()
+    sim.schedule(0.001, _noop)
+    sim.run(until=0.5)
+    return n / (time.perf_counter() - t0)
+
+
+def bench_next_hop() -> float:
+    """Greedy next-hop decisions against a static 24-link table."""
+    import numpy as np
+
+    from repro.brunet.address import random_address
+    from repro.brunet.connection import Connection, ConnectionType
+    from repro.brunet.routing import next_hop
+    from repro.brunet.table import ConnectionTable
+    from repro.phys.endpoints import Endpoint
+
+    rng = np.random.default_rng(0)
+    me = random_address(rng)
+    table = ConnectionTable(me)
+    for i in range(24):
+        table.add(Connection(random_address(rng), Endpoint("1.1.1.1", i),
+                             ConnectionType.STRUCTURED_FAR, 0.0))
+    dests = [random_address(rng) for _ in range(64)]
+    n = 50_000
+    t0 = time.perf_counter()
+    for i in range(n):
+        next_hop(table, me, dests[i & 63])
+    return n / (time.perf_counter() - t0)
+
+
+def bench_flow_churn() -> float:
+    """Flow add/remove churn across disjoint resource components — the
+    incremental-fairness target (fig8's job arrival/completion pattern)."""
+    from repro.phys.flows import Flow, FlowManager, Resource
+    from repro.sim import Simulator
+
+    sim = Simulator(seed=0, trace=False)
+    fm = FlowManager(sim)
+    components = [[Resource(f"r{c}.{i}", 1e6) for i in range(3)]
+                  for c in range(40)]
+    # a standing population of long-lived flows
+    for c, res in enumerate(components):
+        for j in range(4):
+            Flow(fm, f"base{c}.{j}", 1e15, res)
+    n = 3_000
+
+    def churn(i: int) -> None:
+        f = Flow(fm, f"churn{i}", 1e12, components[i % 40])
+        sim.schedule(0.5, f.cancel)
+        if i + 1 < n:
+            sim.schedule(0.01, churn, i + 1)
+
+    t0 = time.perf_counter()
+    sim.schedule(0.0, churn, 0)
+    sim.run(until=n * 0.01 + 2.0)
+    return n / (time.perf_counter() - t0)
+
+
+def bench_scaling(n_nodes: int) -> float:
+    from repro.experiments import scaling
+    t0 = time.perf_counter()
+    scaling.measure(n_nodes, seed=0)
+    return time.perf_counter() - t0
+
+
+def bench_joincdf(trials: int) -> float:
+    from repro.experiments import join_latency_cdf
+    t0 = time.perf_counter()
+    join_latency_cdf.run(seed=0, scale=0.5, trials=trials)
+    return time.perf_counter() - t0
+
+
+def bench_fig8(n_jobs: int) -> float:
+    from repro.experiments import fig8_meme_histogram
+    t0 = time.perf_counter()
+    fig8_meme_histogram.run(seed=0, scale=0.5, n_jobs=n_jobs)
+    return time.perf_counter() - t0
+
+
+def _noop() -> None:
+    pass
+
+
+def run_benches(smoke: bool) -> dict:
+    micro = {
+        "event_throughput_ops_per_s": bench_event_throughput(),
+        "event_churn_ops_per_s": bench_event_churn(),
+        "next_hop_ops_per_s": bench_next_hop(),
+        "flow_churn_ops_per_s": bench_flow_churn(),
+    }
+    experiments = {"scaling_64_s": bench_scaling(64)}
+    if not smoke:
+        experiments["scaling_128_s"] = bench_scaling(128)
+        experiments["joincdf_3_s"] = bench_joincdf(3)
+        experiments["fig8_200_s"] = bench_fig8(200)
+    return {
+        "meta": {
+            "smoke": smoke,
+            "python": platform.python_version(),
+            "calibration_ops_per_s": _calibration_ops_per_s(),
+        },
+        "micro": micro,
+        "experiments": experiments,
+    }
+
+
+def _normalized(report: dict) -> dict[str, float]:
+    """Metrics divided by the calibration speed, so two machines (or two
+    commits on one machine) compare by shape rather than absolute speed.
+    Normalized values are 'bigger is better' throughout (wall-clocks are
+    inverted)."""
+    cal = report["meta"]["calibration_ops_per_s"]
+    out: dict[str, float] = {}
+    for name, value in report["micro"].items():
+        out[name] = value / cal
+    for name, value in report["experiments"].items():
+        out[name] = (1.0 / value) / cal if value > 0 else 0.0
+    return out
+
+
+def check(fresh: dict, committed: dict, tolerance: float) -> list[str]:
+    """Regressions (normalized slowdown beyond ``tolerance``) in metrics
+    present in both reports."""
+    fresh_n = _normalized(fresh)
+    committed_n = _normalized(committed)
+    failures = []
+    for name, base in committed_n.items():
+        now = fresh_n.get(name)
+        if now is None or base <= 0:
+            continue
+        if now < base * (1.0 - tolerance):
+            failures.append(
+                f"{name}: normalized {now:.4g} vs committed {base:.4g} "
+                f"({(1 - now / base) * 100:.0f}% regression, "
+                f"tolerance {tolerance * 100:.0f}%)")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="micro benches + one small experiment only")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the committed JSON and fail "
+                             "on regression instead of overwriting it")
+    parser.add_argument("--json", type=Path, default=DEFAULT_JSON,
+                        help=f"report path (default {DEFAULT_JSON.name})")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional regression (default 0.25)")
+    args = parser.parse_args(argv)
+
+    report = run_benches(smoke=args.smoke)
+    print(f"{'metric':34s} {'value':>14s}")
+    for section in ("micro", "experiments"):
+        for name, value in report[section].items():
+            unit = "ops/s" if name.endswith(OPS_SUFFIX) else "s"
+            print(f"{name:34s} {value:14,.1f} {unit}")
+
+    if args.check:
+        if not args.json.exists():
+            print(f"no committed report at {args.json}; nothing to check")
+            return 1
+        committed = json.loads(args.json.read_text())
+        failures = check(report, committed, args.tolerance)
+        if failures:
+            print("\nPERF REGRESSION:")
+            for f in failures:
+                print(f"  {f}")
+            return 1
+        print("\nno regression beyond tolerance")
+        return 0
+
+    args.json.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

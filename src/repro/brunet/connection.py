@@ -40,7 +40,7 @@ class Connection:
 
     __slots__ = ("peer_addr", "remote_endpoint", "types", "established_at",
                  "closed", "last_heard", "unanswered_pings", "packets_sent",
-                 "packets_received", "bytes_sent")
+                 "packets_received", "bytes_sent", "_table")
 
     def __init__(self, peer_addr: BrunetAddress, remote_endpoint: Endpoint,
                  conn_type: Union[ConnectionType, Iterable[ConnectionType]],
@@ -58,6 +58,9 @@ class Connection:
         self.packets_sent = 0
         self.packets_received = 0
         self.bytes_sent = 0
+        # back-reference set by ConnectionTable.add so label changes
+        # invalidate the table's routing caches
+        self._table = None
 
     @property
     def structured(self) -> bool:
@@ -75,7 +78,17 @@ class Connection:
 
     def add_type(self, conn_type: ConnectionType) -> None:
         """Give the link an additional role label."""
-        self.types.add(conn_type)
+        if conn_type not in self.types:
+            self.types.add(conn_type)
+            if self._table is not None:
+                self._table.bump_version()
+
+    def discard_type(self, conn_type: ConnectionType) -> None:
+        """Remove a role label (the link survives if others remain)."""
+        if conn_type in self.types:
+            self.types.discard(conn_type)
+            if self._table is not None:
+                self._table.bump_version()
 
     def heard_from(self, now: float) -> None:
         """Any traffic from the peer refreshes keep-alive state."""

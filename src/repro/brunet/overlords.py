@@ -164,7 +164,7 @@ class NearConnectionOverlord(Overlord):
                 node.drop_connection(conn, reason="near-trimmed",
                                      notify=True)
             else:
-                conn.types.discard(ConnectionType.STRUCTURED_NEAR)
+                conn.discard_type(ConnectionType.STRUCTURED_NEAR)
 
 
 class FarConnectionOverlord(Overlord):
@@ -296,4 +296,4 @@ class ShortcutConnectionOverlord(Overlord):
                     self.node.drop_connection(conn, reason="shortcut-idle",
                                               notify=True)
                 else:
-                    conn.types.discard(ConnectionType.SHORTCUT)
+                    conn.discard_type(ConnectionType.SHORTCUT)

@@ -30,6 +30,14 @@ def _metric(addr: BrunetAddress, dest: BrunetAddress,
     return ring_distance(addr, dest)
 
 
+#: cache-miss sentinel (None is a valid cached decision)
+_MISS = object()
+
+#: wholesale-clear threshold so a long-lived static table cannot pin
+#: unbounded numbers of (dest, approach) entries
+_CACHE_MAX = 4096
+
+
 def next_hop(table: ConnectionTable, my_addr: BrunetAddress,
              dest: BrunetAddress,
              exclude_dest_link: bool = False,
@@ -39,7 +47,28 @@ def next_hop(table: ConnectionTable, my_addr: BrunetAddress,
 
     Each hop strictly decreases the metric to the destination, so greedy
     forwarding can never loop.
+
+    Decisions are memoized in ``table.next_hop_cache``; the table clears
+    the cache whenever its ``version`` bumps (connection added/removed or
+    relabelled), so a hit is always equal to a fresh scan.
     """
+    cache = table.next_hop_cache
+    key = (my_addr, dest, exclude_dest_link, approach)
+    hit = cache.get(key, _MISS)
+    if hit is not _MISS:
+        return hit
+    result = _next_hop_scan(table, my_addr, dest, exclude_dest_link, approach)
+    if len(cache) >= _CACHE_MAX:
+        cache.clear()
+    cache[key] = result
+    return result
+
+
+def _next_hop_scan(table: ConnectionTable, my_addr: BrunetAddress,
+                   dest: BrunetAddress,
+                   exclude_dest_link: bool = False,
+                   approach: Optional[str] = None) -> Optional[Connection]:
+    """Uncached greedy decision (the memoization oracle)."""
     if not exclude_dest_link and approach is None:
         direct = table.get(dest)
         if direct is not None:

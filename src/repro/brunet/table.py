@@ -4,6 +4,13 @@ Provides the queries routing and the overlords need: nearest structured
 neighbour to an address, left/right ring neighbours, connections by type.
 Node counts are small (a node holds ~2 near + k far + a few shortcuts), so
 linear scans are simpler and faster than maintaining a sorted structure.
+
+The table carries a monotone ``version`` counter bumped on every mutation
+that can change a routing decision (add/remove/label change).  Derived
+read-mostly state — the structured-connection snapshot and the memoized
+next-hop cache in :mod:`repro.brunet.routing` — is invalidated wholesale on
+a bump, so routing's hot path re-scans the table only after it actually
+changed.
 """
 
 from __future__ import annotations
@@ -22,6 +29,19 @@ class ConnectionTable:
         self._conns: dict[BrunetAddress, Connection] = {}
         self.on_added: list[Callable[[Connection], None]] = []
         self.on_removed: list[Callable[[Connection], None]] = []
+        #: bumped on any mutation that can change a routing decision
+        self.version = 0
+        self._structured_cache: Optional[tuple[Connection, ...]] = None
+        #: (my_addr, dest, exclude_dest_link, approach) -> Connection|None,
+        #: owned here, filled by repro.brunet.routing.next_hop
+        self.next_hop_cache: dict[tuple, Optional[Connection]] = {}
+
+    def bump_version(self) -> None:
+        """Invalidate routing caches after a table mutation."""
+        self.version += 1
+        self._structured_cache = None
+        if self.next_hop_cache:
+            self.next_hop_cache.clear()
 
     # -- mutation ---------------------------------------------------------
     def add(self, conn: Connection) -> Connection:
@@ -34,10 +54,13 @@ class ConnectionTable:
             old.types |= conn.types
             old.remote_endpoint = conn.remote_endpoint
             if grew:
+                self.bump_version()
                 for cb in list(self.on_added):
                     cb(old)
             return old
         self._conns[conn.peer_addr] = conn
+        conn._table = self
+        self.bump_version()
         for cb in list(self.on_added):
             cb(conn)
         return conn
@@ -47,6 +70,8 @@ class ConnectionTable:
         conn = self._conns.pop(peer_addr, None)
         if conn is not None:
             conn.closed = True
+            conn._table = None
+            self.bump_version()
             for cb in list(self.on_removed):
                 cb(conn)
         return conn
@@ -76,17 +101,20 @@ class ConnectionTable:
         return [c for c in self._conns.values() if conn_type in c.types]
 
     def structured(self) -> Iterable[Connection]:
-        """Connections that participate in greedy routing."""
-        return (c for c in self._conns.values() if c.structured)
+        """Connections that participate in greedy routing (snapshot tuple,
+        rebuilt only after a table mutation)."""
+        cached = self._structured_cache
+        if cached is None:
+            cached = self._structured_cache = tuple(
+                c for c in self._conns.values() if c.structured)
+        return cached
 
     def closest_to(self, dest: BrunetAddress) -> Optional[Connection]:
         """Structured connection whose peer is nearest to ``dest`` on the
         ring; None when the table has no structured connections."""
         best: Optional[Connection] = None
         best_d: Optional[int] = None
-        for conn in self._conns.values():
-            if not conn.structured:
-                continue
+        for conn in self.structured():
             d = ring_distance(conn.peer_addr, dest)
             if best_d is None or d < best_d:
                 best, best_d = conn, d
@@ -103,9 +131,7 @@ class ConnectionTable:
     def _directional_neighbor(self, clockwise: bool) -> Optional[Connection]:
         best: Optional[Connection] = None
         best_d: Optional[int] = None
-        for conn in self._conns.values():
-            if not conn.structured:
-                continue
+        for conn in self.structured():
             d = (directed_distance(self.my_addr, conn.peer_addr) if clockwise
                  else directed_distance(conn.peer_addr, self.my_addr))
             if d == 0:
@@ -120,8 +146,8 @@ class ConnectionTable:
         ``addr`` (used when answering a joining node's CTM-to-self)."""
         left: list[tuple[int, Connection]] = []
         right: list[tuple[int, Connection]] = []
-        for conn in self._conns.values():
-            if not conn.structured or conn.peer_addr == addr:
+        for conn in self.structured():
+            if conn.peer_addr == addr:
                 continue
             d_cw = directed_distance(addr, conn.peer_addr)
             right.append((d_cw, conn))

@@ -108,6 +108,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="overlay scale (default 0.5, 1.0 with --full)")
     parser.add_argument("--csv-dir", default=None,
                         help="export raw series as CSV into this directory")
+    parser.add_argument("--profile", action="store_true",
+                        help="run under cProfile and print the top-20 "
+                             "functions by cumulative time")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -117,8 +120,20 @@ def main(argv: list[str] | None = None) -> int:
     names = list(EXPERIMENTS) if args.names in ([], ["all"]) else args.names
     scale = args.scale if args.scale is not None else \
         (1.0 if args.full else 0.5)
-    for name in names:
-        _run_one(name, args.full, args.seed, scale, csv_dir=args.csv_dir)
+
+    def run_selected() -> None:
+        for name in names:
+            _run_one(name, args.full, args.seed, scale, csv_dir=args.csv_dir)
+
+    if args.profile:
+        import cProfile
+        import pstats
+        profiler = cProfile.Profile()
+        profiler.runcall(run_selected)
+        stats = pstats.Stats(profiler)
+        stats.sort_stats("cumulative").print_stats(20)
+    else:
+        run_selected()
     return 0
 
 

@@ -11,6 +11,18 @@ Per-flow rate caps (e.g. a TCP window/RTT bound) are modelled as a private
 :class:`Resource` appended to the path — this keeps the fairness computation
 uniform and correct.
 
+Rate recomputation is incremental: a mutation (flow add/remove/re-path,
+pause/resume, capacity change) marks the touched resources dirty, and the
+manager recomputes only the *connected component* of the resource/flow
+sharing graph reachable from the dirty set — flows that share nothing with
+the change keep their rates.  Mutations made inside an event are coalesced:
+the first one schedules a single flush at the current timestamp with a
+priority below every ordinary event, so a burst of changes (a transfer
+re-pathing across several resources, a batch of job arrivals) pays for one
+recomputation, and every event at a later timestamp still observes fresh
+rates.  Mutations made outside event context recompute synchronously, so
+direct driving of the manager (tests, setup code) keeps eager semantics.
+
 The overlay layer maps an overlay route onto resources: each traversed
 IPOP router contributes its user-level forwarding capacity and each WAN
 site-pair contributes a path-capacity resource (see
@@ -30,6 +42,10 @@ if TYPE_CHECKING:  # pragma: no cover
 
 _EPS = 1e-9
 
+#: flushes run before every ordinary event at the same timestamp, so any
+#: event at time t observes rates that reflect all mutations made before t
+_FLUSH_PRIORITY = -(1 << 30)
+
 
 class Resource:
     """A capacity-limited stage (link, router CPU) shared by flows."""
@@ -44,9 +60,16 @@ class Resource:
         self.flows: set["Flow"] = set()
 
     def set_capacity(self, capacity: float, manager: "FlowManager") -> None:
-        """Change capacity and recompute rates of affected flows."""
+        """Change capacity and recompute rates of affected flows.
+
+        A resource carrying no flows cannot affect any rate, so the change
+        is recorded without triggering a recomputation (the next flow
+        admitted over it recomputes anyway).
+        """
         self.capacity = capacity
-        manager.recompute()
+        if not self.flows:
+            return
+        manager.request_recompute((self,))
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Resource {self.name} cap={self.capacity:.0f}B/s n={len(self.flows)}>"
@@ -101,18 +124,19 @@ class Flow:
         if self.completed:
             return
         self.manager.advance()
+        old_path = list(self.path)
         if rate_cap is not None and self._cap_resource is not None:
             self._cap_resource.capacity = rate_cap
             rate_cap = None  # reuse the existing cap resource
         self._set_path_internal(path, rate_cap)
-        self.manager.recompute()
+        self.manager.request_recompute(old_path + self.path)
 
     def set_rate_cap(self, rate_cap: float) -> None:
         """Install/update a per-flow rate ceiling (e.g. window/RTT)."""
         if self._cap_resource is None:
             self.manager.advance()
             self._set_path_internal(self.path, rate_cap)
-            self.manager.recompute()
+            self.manager.request_recompute(self.path)
         else:
             self._cap_resource.set_capacity(rate_cap, self.manager)
 
@@ -128,7 +152,7 @@ class Flow:
             self.manager.advance()
             self.paused = True
             self._log_point()
-            self.manager.recompute()
+            self.manager.request_recompute(self.path)
 
     def resume(self) -> None:
         """Undo :meth:`pause`; rates are recomputed immediately."""
@@ -136,7 +160,7 @@ class Flow:
             self.manager.advance()
             self.paused = False
             self._log_point()
-            self.manager.recompute()
+            self.manager.request_recompute(self.path)
 
     def cancel(self) -> None:
         """Abort the transfer; ``done`` never fires."""
@@ -184,21 +208,30 @@ class FlowManager:
         self._last_advance = sim.now
         self._next_event: Optional["Event"] = None
         self.completed_count = 0
+        self._dirty: set[Resource] = set()
+        self._full = False
+        self._flush_event: Optional["Event"] = None
+        #: observability: how many recomputations ran, and how many of
+        #: those were scoped to a component rather than the whole flow set
+        self.full_recomputes = 0
+        self.scoped_recomputes = 0
 
     # -- flow set ----------------------------------------------------------
     def add(self, flow: Flow) -> None:
         """Admit a flow and rebalance rates."""
         self.advance()
         self.flows.add(flow)
-        self.recompute()
+        self.request_recompute(flow.path)
 
     def remove(self, flow: Flow) -> None:
         """Withdraw a flow (without completing it) and rebalance."""
         self.advance()
         self.flows.discard(flow)
-        for r in flow.path:
+        flow.rate = 0.0
+        released = list(flow.path)
+        for r in released:
             r.flows.discard(flow)
-        self.recompute()
+        self.request_recompute(released)
 
     # -- integration --------------------------------------------------------
     def advance(self) -> None:
@@ -224,6 +257,7 @@ class FlowManager:
         flow.finish_time = self.sim.now
         flow.rate = 0.0
         self.flows.discard(flow)
+        self._dirty.update(flow.path)  # released capacity rebalances peers
         for r in flow.path:
             r.flows.discard(flow)
         self.completed_count += 1
@@ -235,12 +269,83 @@ class FlowManager:
         flow.done.fire(flow.finish_time)
 
     # -- rate computation --------------------------------------------------
+    def request_recompute(self, resources: Optional[Iterable[Resource]] = None
+                          ) -> None:
+        """Ask for a fairness recomputation scoped to ``resources`` (or a
+        full one when None).
+
+        Inside an event the request is coalesced: the first request
+        schedules one flush at the current timestamp (below every ordinary
+        priority) and later requests merely widen its dirty set.  Outside
+        event context the recomputation happens immediately, preserving
+        the historical synchronous semantics for setup/test code.
+        """
+        if resources is None:
+            self._full = True
+        else:
+            self._dirty.update(resources)
+        if self.sim.executing:
+            if self._flush_event is None:
+                self._flush_event = self.sim.schedule(
+                    0.0, self._on_flush_event, priority=_FLUSH_PRIORITY)
+            return
+        self._flush()
+
     def recompute(self) -> None:
-        """Progressive-filling max-min fair allocation, then reschedule the
-        next completion event."""
+        """Force an immediate full progressive-filling recomputation."""
+        self._full = True
+        self._flush()
+
+    def _on_flush_event(self) -> None:
+        self._flush_event = None
+        self._flush()
+
+    def _flush(self) -> None:
+        """Drain the dirty set: integrate progress, then recompute the
+        affected component(s) and reschedule the next completion event."""
+        if self._flush_event is not None:
+            self._flush_event.cancel()
+            self._flush_event = None
         self.advance()
-        active = {f for f in self.flows if not f.paused and f.path}
-        for f in self.flows:
+        while self._full or self._dirty:
+            if self._full:
+                self._full = False
+                self._dirty.clear()
+                self.full_recomputes += 1
+                self._recompute_rates(self.flows)
+            else:
+                dirty, self._dirty = self._dirty, set()
+                self.scoped_recomputes += 1
+                self._recompute_rates(self._component_flows(dirty))
+        self._schedule_next()
+
+    def _component_flows(self, dirty: set[Resource]) -> set[Flow]:
+        """Flows in the connected component(s) of the resource-sharing
+        graph reachable from the dirty resources."""
+        flows: set[Flow] = set()
+        seen = set(dirty)
+        stack = list(dirty)
+        while stack:
+            r = stack.pop()
+            for f in r.flows:
+                if f not in flows:
+                    flows.add(f)
+                    for r2 in f.path:
+                        if r2 not in seen:
+                            seen.add(r2)
+                            stack.append(r2)
+        return flows
+
+    def _recompute_rates(self, flows: Iterable[Flow]) -> None:
+        """Progressive-filling max-min fair allocation over ``flows``.
+
+        Correct for any resource-sharing-closed flow set: flows outside a
+        closed set share no resource with it, so their (unchanged) rates
+        consume none of the capacity allocated here.
+        """
+        active = {f for f in flows if not f.paused and f.path
+                  and not f.completed}
+        for f in flows:
             f.rate = 0.0
 
         # gather resources used by active flows
@@ -287,8 +392,6 @@ class FlowManager:
                                                remaining_cap[r] - best_share)
             unfrozen -= frozen_now
 
-        self._schedule_next()
-
     def _schedule_next(self) -> None:
         if self._next_event is not None:
             self._next_event.cancel()
@@ -306,4 +409,7 @@ class FlowManager:
 
     def _on_completion_event(self) -> None:
         self._next_event = None
-        self.recompute()
+        # advance() inside the flush completes the due flow(s), marking
+        # their resources dirty; the recomputation is then scoped to the
+        # component that actually gained capacity
+        self._flush()

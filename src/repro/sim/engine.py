@@ -5,6 +5,21 @@ fire in a deterministic order (FIFO within a priority class).  Everything in
 the repo shares one :class:`Simulator` per experiment, which also owns the
 RNG registry and the tracer so that a single seed makes a whole experiment
 reproducible.
+
+Internally the queue is a hybrid of a binary heap and a bucketed timer
+wheel (a calendar queue).  Events due within the current wheel bucket go
+straight onto the heap; events further out are appended to their bucket in
+O(1) and only merged into the heap when simulation time approaches the
+bucket.  Because a bucket is always merged *before* any event at or after
+its start time can fire, the pop order is exactly the total
+``(time, priority, seq)`` order — the wheel is an optimisation, not a
+semantic change, and ``Simulator(timer_wheel=False)`` produces a
+byte-identical event stream.
+
+Cancellation is O(1): heap entries are tombstoned and compacted lazily
+(the heap is rebuilt once more than half of it is dead), while cancelled
+wheel entries are simply skipped at merge time and never touch the heap at
+all.  A live-event counter makes :meth:`Simulator.pending` O(1).
 """
 
 from __future__ import annotations
@@ -25,10 +40,11 @@ class Event:
     """A scheduled callback.
 
     Instances are returned by :meth:`Simulator.schedule` and may be
-    cancelled; cancellation is O(1) (the heap entry is tombstoned).
+    cancelled; cancellation is O(1) (the entry is tombstoned).
     """
 
-    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled",
+                 "_sim", "_in_heap")
 
     def __init__(self, time: float, priority: int, seq: int,
                  fn: Callable[..., Any], args: tuple):
@@ -38,10 +54,15 @@ class Event:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._sim: Optional["Simulator"] = None
+        self._in_heap = False
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._sim is not None:
+                self._sim._note_cancel(self)
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.priority, self.seq) < (
@@ -62,17 +83,53 @@ class Simulator:
     trace:
         When true, a :class:`Tracer` records events emitted via
         :meth:`Simulator.trace`.
+    timer_wheel:
+        Route far-future events through the bucketed timer wheel.  Off, the
+        kernel degrades to a plain binary heap with identical semantics
+        (used by the determinism golden tests).  None uses
+        :attr:`default_timer_wheel`, which those tests flip to rerun whole
+        experiments on the plain heap.
+    wheel_granularity:
+        Bucket width in simulated seconds.  Coarse periodic timers (pings,
+        keep-alives, overlord ticks, flow-completion estimates) land whole
+        buckets ahead and so pay O(1) to schedule and O(0) to cancel.
     """
 
-    def __init__(self, seed: int = 0, trace: bool = True):
+    #: process-wide default for the ``timer_wheel`` parameter
+    default_timer_wheel = True
+
+    #: rebuild the heap when it holds more dead than live entries (and is
+    #: big enough for the rebuild to be worth the copy)
+    _COMPACT_MIN = 64
+
+    def __init__(self, seed: int = 0, trace: bool = True,
+                 timer_wheel: Optional[bool] = None,
+                 wheel_granularity: float = 1.0):
+        if wheel_granularity <= 0:
+            raise SimulationError("wheel_granularity must be positive")
+        if timer_wheel is None:
+            timer_wheel = self.default_timer_wheel
         self.now: float = 0.0
-        self._queue: list[Event] = []
+        # heap entries are (time, priority, seq, Event): tuple comparison
+        # stays in C (seq is unique, so the Event itself is never compared)
+        self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._running = False
         self._stopped = False
         self.events_processed = 0
+        #: True while an event callback is executing (used by subsystems
+        #: that coalesce work until the end of the current event)
+        self.executing = False
         self.rng = RngRegistry(seed)
         self.tracer = Tracer(enabled=trace)
+        # -- hybrid queue state -----------------------------------------
+        self._use_wheel = timer_wheel
+        self._gran = wheel_granularity
+        self._wheel: dict[int, list[Event]] = {}
+        self._bucket_heap: list[int] = []   # min-heap of occupied buckets
+        self._wheel_floor = 0               # buckets <= floor are heap-resident
+        self._live = 0                      # non-cancelled events queued
+        self._heap_dead = 0                 # tombstones inside self._queue
 
     # ------------------------------------------------------------------
     # scheduling
@@ -91,26 +148,88 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule in the past: {time} < now {self.now}")
         ev = Event(time, priority, self._seq, fn, args)
+        ev._sim = self
         self._seq += 1
-        heapq.heappush(self._queue, ev)
+        self._live += 1
+        if self._use_wheel and math.isfinite(time):
+            bucket = int(time // self._gran)
+            if bucket > self._wheel_floor:
+                entries = self._wheel.get(bucket)
+                if entries is None:
+                    self._wheel[bucket] = [ev]
+                    heapq.heappush(self._bucket_heap, bucket)
+                else:
+                    entries.append(ev)
+                return ev
+        ev._in_heap = True
+        heapq.heappush(self._queue, (time, priority, ev.seq, ev))
         return ev
+
+    # ------------------------------------------------------------------
+    # queue maintenance
+    # ------------------------------------------------------------------
+    def _note_cancel(self, ev: Event) -> None:
+        """O(1) bookkeeping for a cancellation; compact the heap lazily."""
+        self._live -= 1
+        if ev._in_heap:
+            self._heap_dead += 1
+            if (self._heap_dead > self._COMPACT_MIN
+                    and self._heap_dead * 2 > len(self._queue)):
+                self._compact()
+
+    def _compact(self) -> None:
+        """Drop tombstones and re-heapify.  Pop order is unchanged: the
+        heap's pop sequence depends only on the (totally ordered) element
+        set, not on its internal layout."""
+        self._queue = [e for e in self._queue if not e[3].cancelled]
+        heapq.heapify(self._queue)
+        self._heap_dead = 0
+
+    def _head(self) -> Optional[Event]:
+        """The next live event (without popping), or None.
+
+        Strips cancelled heap heads and merges every wheel bucket that
+        could contain an event at or before the current heap head.
+        """
+        queue = self._queue
+        while True:
+            while queue and queue[0][3].cancelled:
+                heapq.heappop(queue)
+                self._heap_dead -= 1
+            if self._bucket_heap:
+                head_time = queue[0][0] if queue else math.inf
+                bucket = self._bucket_heap[0]
+                if bucket * self._gran <= head_time:
+                    heapq.heappop(self._bucket_heap)
+                    self._wheel_floor = bucket
+                    for ev in self._wheel.pop(bucket):
+                        if not ev.cancelled:
+                            ev._in_heap = True
+                            heapq.heappush(
+                                queue, (ev.time, ev.priority, ev.seq, ev))
+                    continue
+            return queue[0][3] if queue else None
 
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Run the next pending event.  Returns False when queue is empty."""
-        while self._queue:
-            ev = heapq.heappop(self._queue)
-            if ev.cancelled:
-                continue
-            if ev.time < self.now:  # pragma: no cover - defensive
-                raise SimulationError("event queue corrupted: time went backwards")
-            self.now = ev.time
-            self.events_processed += 1
+        ev = self._head()
+        if ev is None:
+            return False
+        heapq.heappop(self._queue)
+        if ev.time < self.now:  # pragma: no cover - defensive
+            raise SimulationError("event queue corrupted: time went backwards")
+        self.now = ev.time
+        self.events_processed += 1
+        self._live -= 1
+        self.executing = True
+        try:
             ev.fn(*ev.args)
-            return True
-        return False
+        finally:
+            self.executing = False
+        return True
 
     def run(self, until: Optional[float] = None,
             max_events: Optional[int] = None) -> float:
@@ -122,22 +241,19 @@ class Simulator:
         self._stopped = False
         fired = 0
         try:
-            while self._queue and not self._stopped:
+            while not self._stopped:
                 if max_events is not None and fired >= max_events:
                     break
-                head = self._queue[0]
-                if head.cancelled:
-                    heapq.heappop(self._queue)
-                    continue
+                head = self._head()
+                if head is None:
+                    if until is not None:
+                        self.now = max(self.now, until)
+                    break
                 if until is not None and head.time > until:
                     self.now = until
                     break
-                if not self.step():  # pragma: no cover - guarded by loop cond
-                    break
+                self.step()
                 fired += 1
-            else:
-                if until is not None and not self._stopped:
-                    self.now = max(self.now, until)
         finally:
             self._running = False
         return self.now
@@ -154,9 +270,16 @@ class Simulator:
         self.tracer.record(self.now, category, data)
 
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for ev in self._queue if not ev.cancelled)
+        """Number of live (non-cancelled) events still queued.  O(1)."""
+        return self._live
 
     def iter_pending(self) -> Iterator[Event]:
-        """Iterate live queued events in heap (not chronological) order."""
-        return (ev for ev in self._queue if not ev.cancelled)
+        """Iterate live queued events in arbitrary (not chronological)
+        order."""
+        for entry in self._queue:
+            if not entry[3].cancelled:
+                yield entry[3]
+        for entries in self._wheel.values():
+            for ev in entries:
+                if not ev.cancelled:
+                    yield ev

@@ -1,0 +1,86 @@
+"""Golden-trace determinism: the timer wheel must not change results.
+
+Whole experiments are run twice — hybrid wheel+heap kernel vs pure heap —
+and their summary statistics must be byte-identical (same seed → same
+event order → same RNG draws → same floats).
+"""
+
+import json
+
+import pytest
+
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def heap_only():
+    """Flip the process-wide default so experiment-internal Simulators run
+    on the plain heap."""
+    def _set(value: bool):
+        Simulator.default_timer_wheel = value
+    yield _set
+    Simulator.default_timer_wheel = True
+
+
+def test_scaling_summary_identical_with_wheel_on_and_off(heap_only):
+    from repro.experiments import scaling
+
+    def summary():
+        p = scaling.measure(32, seed=3, sample_pairs=60)
+        return json.dumps(p.__dict__, sort_keys=True)
+
+    heap_only(True)
+    with_wheel = summary()
+    heap_only(False)
+    without_wheel = summary()
+    assert with_wheel == without_wheel
+
+
+def test_joincdf_summary_identical_with_wheel_on_and_off(heap_only):
+    from repro.experiments import join_latency_cdf
+
+    def summary():
+        r = join_latency_cdf.run(seed=1, scale=0.25, trials=2, window=40.0)
+        return json.dumps([r.route_times, r.direct_times])
+
+    heap_only(True)
+    with_wheel = summary()
+    heap_only(False)
+    without_wheel = summary()
+    assert with_wheel == without_wheel
+
+
+def test_overlay_event_stream_identical_with_wheel_on_and_off(heap_only):
+    """Beyond summaries: the full trace of a churny overlay build (joins,
+    pings, drops, shortcut formation) must match event for event."""
+    from repro.brunet import BrunetConfig, BrunetNode, random_address
+    from repro.brunet.uri import Uri
+    from repro.phys import Internet, Site
+
+    def build():
+        sim = Simulator(seed=5, trace=True)
+        net = Internet(sim)
+        site = Site(net, "pub")
+        rng = sim.rng.stream("golden")
+        boot = None
+        nodes = []
+        for i in range(10):
+            h = site.add_host(f"h{i}")
+            n = BrunetNode(sim, h, random_address(rng), BrunetConfig(),
+                           name=f"n{i}")
+            n.start([boot] if boot else [])
+            if boot is None:
+                boot = Uri.udp(h.ip, n.port)
+            nodes.append(n)
+            sim.run(until=sim.now + 2.0)
+        nodes[3].stop()  # churn: cancels its timers, drops its links
+        sim.run(until=sim.now + 60.0)
+        return [(cat, t, repr(sorted(data.items())))
+                for cat, recs in sorted(sim.tracer.records.items())
+                for t, data in recs]
+
+    heap_only(True)
+    with_wheel = build()
+    heap_only(False)
+    without_wheel = build()
+    assert with_wheel == without_wheel

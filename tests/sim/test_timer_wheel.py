@@ -1,0 +1,119 @@
+"""Timer-wheel kernel: byte-identical semantics vs the plain heap.
+
+The wheel is an optimisation only — every test here asserts the hybrid
+queue produces exactly the event stream of the pure binary heap.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Simulator
+
+
+def _run_workload(timer_wheel: bool, spec) -> list:
+    """spec: list of (delay, priority, cancel) — scheduled up front, some
+    events also reschedule children (mixing wheel and heap residency)."""
+    sim = Simulator(seed=0, trace=False, timer_wheel=timer_wheel)
+    fired: list = []
+    events = []
+
+    def fire(tag):
+        fired.append((sim.now, tag))
+        # periodic-timer shape: far-future child that may be cancelled
+        if tag % 3 == 0:
+            child = sim.schedule(7.5, fire, tag + 1000)
+            if tag % 6 == 0:
+                child.cancel()
+
+    for i, (delay, priority, cancel) in enumerate(spec):
+        events.append((sim.schedule(delay, fire, i, priority=priority),
+                       cancel))
+    for ev, cancel in events:
+        if cancel:
+            ev.cancel()
+    sim.run(until=100.0)
+    sim.run()
+    return fired
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.floats(0.0, 40.0, allow_nan=False),
+                          st.integers(-2, 2), st.booleans()),
+                min_size=1, max_size=50))
+def test_wheel_and_heap_fire_identically(spec):
+    assert _run_workload(True, spec) == _run_workload(False, spec)
+
+
+def test_wheel_events_keep_global_fifo_order():
+    """Events landing in the same wheel bucket fire in seq order even when
+    interleaved with heap-resident events at the same times."""
+    for wheel in (True, False):
+        sim = Simulator(timer_wheel=wheel)
+        order = []
+        sim.schedule(5.0, order.append, "a")       # wheel bucket 5
+        sim.schedule(5.0, order.append, "b")       # same bucket, later seq
+        sim.schedule(5.0, order.append, "hi", priority=-1)
+        sim.schedule(0.2, lambda: sim.schedule(4.8, order.append, "c"))
+        sim.run()
+        assert order == ["hi", "a", "b", "c"], f"timer_wheel={wheel}"
+
+
+def test_pending_counter_matches_brute_force():
+    sim = Simulator(trace=False)
+    events = []
+    for i in range(500):
+        events.append(sim.schedule(float(i % 50) + (i % 7) * 10.0,
+                                   lambda: None))
+    for ev in events[::3]:
+        ev.cancel()
+    for ev in events[::3]:
+        ev.cancel()  # idempotent: no double decrement
+    assert sim.pending() == sum(1 for _ in sim.iter_pending())
+    assert sim.pending() == len(events) - len(events[::3])
+    sim.run(until=25.0)
+    assert sim.pending() == sum(1 for _ in sim.iter_pending())
+    sim.run()
+    assert sim.pending() == 0
+
+
+def test_lazy_compaction_keeps_heap_small():
+    """Cancelling most of a large heap triggers a rebuild that sheds the
+    tombstones without losing or reordering the survivors."""
+    sim = Simulator(trace=False, timer_wheel=False)  # all events heap-resident
+    keep, cancelled = [], []
+    for i in range(2000):
+        ev = sim.schedule(float(i) * 0.01, (keep if i % 10 == 0
+                                            else cancelled).append, i)
+        if i % 10 != 0:
+            ev.cancel()
+    assert len(sim._queue) < 2000  # compaction ran
+    sim.run()
+    assert cancelled == []
+    assert keep == list(range(0, 2000, 10))
+
+
+def test_cancel_inside_wheel_bucket_never_fires():
+    sim = Simulator(trace=False)
+    hits = []
+    far = sim.schedule(50.0, hits.append, "far")
+    sim.schedule(49.0, far.cancel)
+    sim.schedule(51.0, hits.append, "after")
+    sim.run()
+    assert hits == ["after"]
+
+
+def test_wheel_handles_fractional_granularity():
+    sim = Simulator(trace=False, wheel_granularity=0.25)
+    order = []
+    for d in (0.9, 0.1, 2.6, 2.4, 10.0):
+        sim.schedule(d, order.append, d)
+    sim.run()
+    assert order == sorted(order)
+
+
+def test_default_timer_wheel_class_switch():
+    try:
+        Simulator.default_timer_wheel = False
+        assert not Simulator(trace=False)._use_wheel
+    finally:
+        Simulator.default_timer_wheel = True
+    assert Simulator(trace=False)._use_wheel
