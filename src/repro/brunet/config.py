@@ -35,6 +35,10 @@ class BrunetConfig:
     ping_retries: int = 3
     #: a connection with this many consecutive unanswered pings is dropped
     ping_timeout: float = 4.0
+    #: hard liveness backstop: drop a connection when *nothing* has been
+    #: heard from the peer for this long, regardless of ping accounting
+    #: (0 disables).  Healthy peers always answer pings well inside this.
+    liveness_timeout: float = 90.0
 
     # -- overlords (§IV-A, §IV-C, §IV-E) ---------------------------------
     #: structured-near connections maintained on each side of the ring

@@ -274,16 +274,18 @@ class Linker:
         def recheck() -> None:
             if not node.active:
                 return
-            conn = node.table.get(target)
-            if conn is not None:
-                for cb in callbacks[0]:
-                    cb(conn)
-                return
+            # hand the saved callbacks to start(): it invokes them on every
+            # terminal path, including "URI list now empty" (start returns
+            # None there — extending callbacks on the returned attempt
+            # would silently drop them and hang waiters forever)
+            relay_ok = ((lambda conn: [cb(conn) for cb in callbacks[0]])
+                        if callbacks[0] else None)
+            relay_fail = ((lambda: [cb() for cb in callbacks[1]])
+                          if callbacks[1] else None)
             again = self.start(target, node.peer_uris.get(target, uris),
-                               attempt.conn_type)
+                               attempt.conn_type,
+                               on_success=relay_ok, on_fail=relay_fail)
             if again is not None:
-                again.on_success.extend(callbacks[0])
-                again.on_fail.extend(callbacks[1])
                 again.race_aborts = attempt.race_aborts
 
         node.sim.schedule(delay, recheck)

@@ -81,11 +81,17 @@ class PingRequest:
 @dataclass
 class PingReply:
     """Keep-alive answer; echoes the observed source for NAT-remap
-    detection (§V-E)."""
+    detection (§V-E).
+
+    ``known`` reports whether the replier still holds a connection to the
+    requester.  A peer that crashed and restarted answers pings (the socket
+    is rebound) but has forgotten the link — without this flag such zombie
+    one-way connections survive the keep-alive protocol forever."""
 
     token: int
     sender_addr: BrunetAddress
     observed_uri: Uri
+    known: bool = True
 
 
 # ---------------------------------------------------------------------------

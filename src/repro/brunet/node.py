@@ -12,7 +12,7 @@ import dataclasses
 from collections import Counter
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
-from repro.brunet.address import BrunetAddress, directed_distance
+from repro.brunet.address import BrunetAddress, directed_distance, ring_distance
 from repro.brunet.config import BrunetConfig, DEFAULT_CONFIG
 from repro.brunet.connection import Connection, ConnectionType
 from repro.brunet.linking import Linker
@@ -166,9 +166,14 @@ class BrunetNode:
         reply_via = None
         if via_leaf:
             leaf = self.leaf_connection()
-            if leaf is None:
+            if leaf is not None:
+                reply_via = leaf.peer_addr
+            elif not self.in_ring:
                 return
-            reply_via = leaf.peer_addr
+            # in-ring with no leaf (e.g. every bootstrap seed died): the
+            # repair announce routes over structured links and replies
+            # come straight back over the ring — self-healing must not
+            # depend on the bootstrap overlay staying alive
         msg = CtmRequest(next_token(), self.addr, self.uris.advertised(),
                          conn_type.value, reply_via=reply_via, fanout=fanout)
         pkt = RoutedPacket(src=self.addr, dest=dest, payload=msg,
@@ -209,6 +214,20 @@ class BrunetNode:
             if leaf is not None:
                 self.send_over(leaf, pkt)
                 return
+            if pkt.dest == self.addr and pkt.exclude_dest_link:
+                # announce with no leaf (every bootstrap seed dead): a
+                # CTM-to-self can never leave this node greedily — no peer
+                # is closer to my own address than me — so launch it over
+                # the nearest structured link; exclude_dest_link keeps
+                # intermediate hops from short-circuiting straight back,
+                # and the packet terminates at whichever live node is now
+                # actually closest to us (ring repair without bootstrap)
+                conns = self.table.structured()
+                if conns:
+                    conn = min(conns, key=lambda c: ring_distance(
+                        c.peer_addr, self.addr))
+                    self.send_over(conn, pkt)
+                    return
         if pkt.exact and pkt.dest != self.addr:
             self.stats["undeliverable"] += 1
             self.trace("route.undeliverable", dest=pkt.dest)
@@ -322,6 +341,13 @@ class BrunetNode:
             if conn.unanswered_pings > cfg.ping_retries:
                 self.drop_connection(conn, reason="ping-timeout")
                 continue
+            if (cfg.liveness_timeout > 0
+                    and now - conn.last_heard > cfg.liveness_timeout):
+                # hard backstop: nothing heard for the whole window — even
+                # if ping accounting was confused (e.g. replies swallowed
+                # by a blackout that lifted), the peer is treated as dead
+                self.drop_connection(conn, reason="liveness-timeout")
+                continue
             if now - conn.last_heard >= cfg.ping_interval:
                 req = PingRequest(next_token(), self.addr)
                 conn.unanswered_pings += 1
@@ -334,16 +360,24 @@ class BrunetNode:
         if conn is not None:
             conn.heard_from(self.sim.now)
             conn.remote_endpoint = src  # tracks NAT re-mappings (§V-E)
-        reply = PingReply(msg.token, self.addr, Uri("udp", src))
+        reply = PingReply(msg.token, self.addr, Uri("udp", src),
+                          known=conn is not None)
         self.send_direct(src, reply, self.config.size_ping)
 
     def _handle_ping_reply(self, msg: PingReply, src: Endpoint) -> None:
         if self.uris.learn(msg.observed_uri):
             self.trace("uri.learned", uri=str(msg.observed_uri))
         conn = self.table.get(msg.sender_addr)
-        if conn is not None:
-            conn.heard_from(self.sim.now)
-            conn.remote_endpoint = src
+        if conn is None:
+            return
+        if not msg.known:
+            # the peer answers but holds no state for us: it restarted (or
+            # its close-notify was lost).  Drop the zombie link so the
+            # overlords' on_disconnection repair hooks re-establish it.
+            self.drop_connection(conn, reason="peer-forgot")
+            return
+        conn.heard_from(self.sim.now)
+        conn.remote_endpoint = src
 
     def drop_connection(self, conn: Connection, reason: str,
                         notify: bool = False) -> None:

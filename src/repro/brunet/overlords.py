@@ -125,8 +125,8 @@ class NearConnectionOverlord(Overlord):
         node = self.node
         if self._stopped or not node.active:
             return
-        if node.leaf_connection() is None:
-            return
+        if node.leaf_connection() is None and not node.in_ring:
+            return  # joining needs a leaf; in-ring repair does not
         if node.sim.now - self._last_announce < 1.0:
             return
         self._last_announce = node.sim.now
@@ -176,6 +176,17 @@ class FarConnectionOverlord(Overlord):
         super().__init__(node)
         self._rng = node.sim.rng.stream(f"brunet.far.{node.name}")
         self._pending: list[float] = []  # expiry times of CTMs in flight
+        node.on_connection.append(self._on_connection)
+
+    def _on_connection(self, conn: Connection) -> None:
+        # a far connection landed: release one in-flight slot so the next
+        # tick sees the true deficit (a success used to count against
+        # ``need`` until its 30 s TTL, leaving the node below far_count
+        # after churn).  CTM targets are Kleinberg samples, not the peer
+        # that answers, so slots cannot be matched by address — release
+        # the oldest.
+        if ConnectionType.STRUCTURED_FAR in conn.types and self._pending:
+            self._pending.pop(0)
 
     def tick(self) -> None:
         """Top up structured-far links toward the configured k."""

@@ -1,0 +1,185 @@
+"""Churn recovery: kill a fraction of the overlay, time the self-repair.
+
+The paper's §V-E argues WOW "self-organizes": nodes fail and the ring
+re-converges without operator action.  This experiment quantifies that —
+an overlay of IPOP nodes (each owning a virtual IP) is warmed up to full
+all-pairs virtual-IP routability, a :class:`~repro.fault.FaultSchedule`
+then crashes ``kill_fraction`` of the nodes simultaneously (no
+close-notify: true crashes, detected only by the liveness layer), and the
+surviving nodes are sampled until both
+
+* **ring consistency** — every survivor is connected to its true ring
+  successor, and
+* **all-pairs virtual-IP routability** — greedy routing finds a live path
+  for every ordered pair of survivors' virtual IPs
+
+hold again.  Recovery time is reported for each.  With a fixed seed the
+whole run — fault timing, repair traffic, recovery curve — is
+deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.brunet.config import BrunetConfig
+from repro.brunet.node import BrunetNode
+from repro.brunet.routing import trace_route
+from repro.brunet.uri import Uri
+from repro.experiments.common import print_table
+from repro.experiments.plotting import ascii_plot, export_series_csv
+from repro.fault import FaultSchedule
+from repro.ipop.mapping import addr_for_ip
+from repro.ipop.router import IpopRouter
+from repro.phys.network import Internet
+from repro.phys.topology import Site
+from repro.sim.engine import Simulator
+
+#: public sites the overlay is spread over (round-robin) so repair traffic
+#: crosses WAN latencies, not just a LAN
+N_SITES = 4
+
+
+@dataclass
+class ChurnResult:
+    """Outcome of one churn-recovery run."""
+
+    seed: int
+    n_nodes: int
+    n_killed: int
+    t_kill: float
+    #: seconds from the kill until ring consistency returned (None = never)
+    recovery_ring: Optional[float]
+    #: seconds from the kill until all-pairs routability returned
+    recovery_routes: Optional[float]
+    #: (seconds since kill, routable pair fraction, ring consistent)
+    series: list[tuple[float, float, bool]] = field(default_factory=list)
+    fault_log: list = field(default_factory=list)
+
+    @property
+    def recovered(self) -> bool:
+        return (self.recovery_ring is not None
+                and self.recovery_routes is not None)
+
+
+def _build_overlay(sim: Simulator, n_nodes: int,
+                   config: BrunetConfig) -> tuple[Internet, list[BrunetNode]]:
+    """``n_nodes`` IPOP nodes across ``N_SITES`` public sites; node 0 is
+    the bootstrap seed.  Virtual IP of node *i* is ``172.16.9.(i+2)``."""
+    internet = Internet(sim)
+    sites = [Site(internet, f"pub{i}") for i in range(N_SITES)]
+    nodes: list[BrunetNode] = []
+    bootstrap: list[Uri] = []
+    for i in range(n_nodes):
+        virtual_ip = f"172.16.9.{i + 2}"
+        host = sites[i % N_SITES].add_host(f"ch{i}")
+        node = BrunetNode(sim, host, addr_for_ip(virtual_ip), config,
+                          name=f"churn{i}")
+        node.start(list(bootstrap))
+        IpopRouter(node, virtual_ip)
+        if not bootstrap:
+            bootstrap.append(Uri.udp(host.ip, node.port))
+        nodes.append(node)
+        sim.run(until=sim.now + 3.0)  # staggered joins
+    return internet, nodes
+
+
+def _ring_consistent(live: list[BrunetNode]) -> bool:
+    ordered = sorted(live, key=lambda n: int(n.addr))
+    return all(
+        ordered[i].table.get(ordered[(i + 1) % len(ordered)].addr) is not None
+        for i in range(len(ordered)))
+
+
+def _routable_fraction(live: list[BrunetNode]) -> float:
+    registry = {n.addr: n for n in live}
+    total = ok = 0
+    for a in live:
+        for b in live:
+            if a is b:
+                continue
+            total += 1
+            if trace_route(a, b.addr, registry.get) is not None:
+                ok += 1
+    return ok / total if total else 1.0
+
+
+def run(seed: int = 0, n_nodes: int = 20, kill_fraction: float = 0.25,
+        settle: float = 400.0, horizon: float = 600.0,
+        sample_every: float = 5.0) -> ChurnResult:
+    """One deterministic churn-recovery measurement."""
+    sim = Simulator(seed=seed, trace=False)
+    internet, nodes = _build_overlay(sim, n_nodes, BrunetConfig())
+
+    # warm up to a fully routable overlay before injecting anything
+    deadline = sim.now + settle
+    while sim.now < deadline:
+        live = [n for n in nodes if n.active]
+        if _ring_consistent(live) and _routable_fraction(live) == 1.0:
+            break
+        sim.run(until=sim.now + 10.0)
+
+    # crash the victims (deterministic choice from the master seed)
+    n_killed = max(1, round(n_nodes * kill_fraction))
+    rng = sim.rng.stream("churn.victims")
+    victims = [nodes[i] for i in
+               sorted(rng.choice(n_nodes, size=n_killed, replace=False))]
+    faults = FaultSchedule(sim, internet, name="churn")
+    t_kill = sim.now + 1.0
+    for victim in victims:
+        faults.crash_node(t_kill, victim)
+
+    survivors = [n for n in nodes if n not in victims]
+    recovery_ring: Optional[float] = None
+    recovery_routes: Optional[float] = None
+    series: list[tuple[float, float, bool]] = []
+    sim.run(until=t_kill)
+    while sim.now - t_kill < horizon:
+        sim.run(until=sim.now + sample_every)
+        elapsed = sim.now - t_kill
+        ring_ok = _ring_consistent(survivors)
+        frac = _routable_fraction(survivors)
+        series.append((elapsed, frac, ring_ok))
+        if ring_ok and recovery_ring is None:
+            recovery_ring = elapsed
+        if frac == 1.0 and recovery_routes is None:
+            recovery_routes = elapsed
+        if recovery_ring is not None and recovery_routes is not None:
+            break
+    return ChurnResult(seed=seed, n_nodes=n_nodes, n_killed=n_killed,
+                       t_kill=t_kill, recovery_ring=recovery_ring,
+                       recovery_routes=recovery_routes, series=series,
+                       fault_log=list(faults.fired))
+
+
+def report(result: ChurnResult, csv_dir: Optional[str] = None) -> None:
+    """Render the recovery table, the routability curve and optional CSV."""
+    fmt = lambda v: "never" if v is None else f"{v:.0f} s"
+    print_table(
+        "Churn recovery (simultaneous node crashes)",
+        ["nodes", "killed", "ring consistent after", "all-pairs routable after"],
+        [[result.n_nodes, result.n_killed, fmt(result.recovery_ring),
+          fmt(result.recovery_routes)]])
+    xs = [t for t, _f, _r in result.series]
+    ys = [100.0 * f for _t, f, _r in result.series]
+    print()
+    print(ascii_plot({"routable pairs %": (xs, ys)},
+                     title=(f"Self-repair after killing {result.n_killed}/"
+                            f"{result.n_nodes} nodes (seed {result.seed})"),
+                     xlabel="seconds since crash"))
+    if csv_dir:
+        path = export_series_csv(f"{csv_dir}/churn_recovery.csv",
+                                 {"routable_fraction": (xs, ys)})
+        print(f"[csv] {path}")
+
+
+def main(seed: int = 0, n_nodes: int = 20,
+         kill_fraction: float = 0.25) -> ChurnResult:
+    result = run(seed=seed, n_nodes=n_nodes, kill_fraction=kill_fraction)
+    report(result)
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

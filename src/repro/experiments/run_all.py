@@ -17,6 +17,7 @@ import sys
 import time
 
 from repro.experiments import (
+    churn_recovery,
     fig4_join_profile,
     fig5_regimes,
     fig6_scp_migration,
@@ -37,6 +38,7 @@ EXPERIMENTS = {
     "fig8": "PBS/MEME histograms + throughput, shortcuts on/off",
     "table3": "fastDNAml-PVM times and speedups",
     "joincdf": "join latency CDF (300-trial claim)",
+    "churn": "self-repair time after killing 25% of the overlay (§V-E)",
 }
 
 
@@ -88,6 +90,11 @@ def _run_one(name: str, full: bool, seed: int, scale: float,
         result = join_latency_cdf.run(seed=seed, scale=scale,
                                       trials=300 if full else 30)
         join_latency_cdf.report(result)
+    elif name == "churn":
+        result = churn_recovery.run(seed=seed,
+                                    n_nodes=40 if full else 20,
+                                    kill_fraction=0.25)
+        churn_recovery.report(result, csv_dir=csv_dir)
     else:
         raise SystemExit(f"unknown experiment {name!r}")
     print(f"[{name} finished in {time.time() - t0:.0f}s wall]")

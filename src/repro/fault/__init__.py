@@ -1,0 +1,27 @@
+"""Deterministic fault injection and churn for the simulation.
+
+The paper's headline claim is *self-organization*: nodes crash, restart,
+migrate and NAT mappings expire, yet the ring re-converges and virtual-IP
+routes come back (§V-E).  This package is the harness that proves it:
+
+* :mod:`repro.fault.schedule` — :class:`FaultSchedule`, a scriptable,
+  seed-deterministic schedule of crashes, restarts, seed death, link
+  blackouts, burst loss and NAT faults;
+* :mod:`repro.fault.rules` — the path-fault rules the schedule installs
+  into :class:`~repro.phys.network.Internet`.
+
+The liveness layer that *detects* the injected failures (keep-alive
+pings, the ``PingReply.known`` zombie check, the hard ``last_heard``
+timeout) lives with the protocol in :mod:`repro.brunet`.
+"""
+
+from repro.fault.rules import Blackout, BurstLoss, PathFault
+from repro.fault.schedule import FaultEvent, FaultSchedule
+
+__all__ = [
+    "Blackout",
+    "BurstLoss",
+    "FaultEvent",
+    "FaultSchedule",
+    "PathFault",
+]

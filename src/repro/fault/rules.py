@@ -1,0 +1,93 @@
+"""Path-level fault rules installed into :class:`~repro.phys.network.Internet`.
+
+A rule sits in ``Internet.fault_rules`` and is consulted for every datagram
+after NAT traversal, just before the loss model: ``drops(src_host,
+dst_host)`` returning True vanishes the packet (counted under
+``fault:<name>``).  Rules select traffic by *side*: each side is a
+:class:`~repro.phys.host.Host` object, a site name (str), or None for
+"any host".  ``symmetric`` rules match both directions.
+
+Two concrete rules cover the §V-E failure taxonomy the experiments need:
+
+* :class:`Blackout` — a hard partition of the matched path (link down,
+  campus uplink failure);
+* :class:`BurstLoss` — a correlated loss episode with probability ``prob``
+  drawn from its own named RNG stream, so a faulty run is reproducible
+  from the simulation seed alone.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    import numpy as np
+
+    from repro.phys.host import Host
+
+#: a rule side: a concrete host, every host of a named site, or any host
+Side = Union["Host", str, None]
+
+
+def _side_matches(side: Side, host: "Host") -> bool:
+    if side is None:
+        return True
+    if isinstance(side, str):
+        return host.site.name == side
+    return host is side
+
+
+class PathFault:
+    """Base rule: matches (src, dst) pairs; subclasses decide the drop."""
+
+    def __init__(self, a: Side = None, b: Side = None,
+                 symmetric: bool = True, name: str = "fault"):
+        self.a = a
+        self.b = b
+        self.symmetric = symmetric
+        self.name = name
+        self.dropped = 0
+
+    def matches(self, src: "Host", dst: "Host") -> bool:
+        """True when the rule covers traffic from ``src`` to ``dst``."""
+        if _side_matches(self.a, src) and _side_matches(self.b, dst):
+            return True
+        return (self.symmetric
+                and _side_matches(self.a, dst) and _side_matches(self.b, src))
+
+    def drops(self, src: "Host", dst: "Host") -> bool:
+        """Drop decision for one datagram (called by the Internet)."""
+        if self.matches(src, dst) and self._drop_matched():
+            self.dropped += 1
+            return True
+        return False
+
+    def _drop_matched(self) -> bool:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class Blackout(PathFault):
+    """Total outage of the matched path while installed."""
+
+    def __init__(self, a: Side = None, b: Side = None,
+                 symmetric: bool = True, name: str = "blackout"):
+        super().__init__(a, b, symmetric, name)
+
+    def _drop_matched(self) -> bool:
+        return True
+
+
+class BurstLoss(PathFault):
+    """Correlated loss: each matched datagram is dropped with ``prob``."""
+
+    def __init__(self, prob: float, rng: "np.random.Generator",
+                 a: Side = None, b: Side = None,
+                 symmetric: bool = True, name: str = "burst-loss"):
+        if not 0.0 <= prob <= 1.0:
+            raise ValueError(f"loss probability out of range: {prob}")
+        super().__init__(a, b, symmetric, name)
+        self.prob = prob
+        self.rng = rng
+
+    def _drop_matched(self) -> bool:
+        return bool(self.rng.random() < self.prob)

@@ -1,0 +1,187 @@
+"""Deterministic, scriptable fault injection for the simulation.
+
+A :class:`FaultSchedule` is a declarative list of failures armed against
+one :class:`~repro.sim.engine.Simulator` (and optionally its
+:class:`~repro.phys.network.Internet`).  Every method schedules its fault
+at an *absolute* simulation time through the ordinary event queue, so a
+schedule is exactly as reproducible as the simulation seed: same script +
+same seed → identical fault timing, identical burst-loss coin flips
+(each loss episode draws from its own named RNG stream), identical
+recovery trace.
+
+Supported faults (the §V-E / churn taxonomy):
+
+* node crash / restart (``crash_node`` / ``restart_node``)
+* bootstrap-seed death (``crash_bootstrap_seed``)
+* host power-off / boot (``crash_host`` / ``boot_host``)
+* link blackout windows between hosts or whole sites (``blackout``)
+* correlated burst packet loss on a path (``burst_loss``)
+* NAT reboot — every mapping dropped at once (``nat_reboot``)
+* NAT mapping-timeout churn — shrink/grow the expiry window mid-run
+  (``nat_mapping_timeout``)
+
+Every fired fault is recorded in :attr:`fired` and emitted on the
+simulation trace under ``fault.<kind>``, so experiments can line recovery
+curves up against the injected events.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.fault.rules import Blackout, BurstLoss, Side
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.brunet.node import BrunetNode
+    from repro.brunet.uri import Uri
+    from repro.phys.host import Host
+    from repro.phys.nat import Nat
+    from repro.phys.network import Internet
+    from repro.sim.engine import Simulator
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultEvent:
+    """One armed (and later fired) fault, for logs and assertions."""
+
+    time: float
+    kind: str
+    detail: str
+
+
+class FaultSchedule:
+    """Arms scripted faults on a simulator; records what fired when."""
+
+    def __init__(self, sim: "Simulator", internet: Optional["Internet"] = None,
+                 name: str = "faults"):
+        self.sim = sim
+        self.internet = internet
+        self.name = name
+        #: every fault armed, in arming order
+        self.armed: list[FaultEvent] = []
+        #: every fault that has actually fired, in firing order
+        self.fired: list[FaultEvent] = []
+        self._n_rules = 0
+
+    # ------------------------------------------------------------------
+    # machinery
+    # ------------------------------------------------------------------
+    def at(self, time: float, kind: str, detail: str,
+           fn: Callable[..., None], *args) -> FaultEvent:
+        """Arm an arbitrary fault callback at absolute ``time``."""
+        event = FaultEvent(time, kind, detail)
+        self.armed.append(event)
+        self.sim.schedule_at(time, self._fire, event, fn, args)
+        return event
+
+    def _fire(self, event: FaultEvent, fn: Callable[..., None],
+              args: tuple) -> None:
+        self.fired.append(dataclasses.replace(event, time=self.sim.now))
+        self.sim.trace(f"fault.{event.kind}", detail=event.detail)
+        fn(*args)
+
+    def _need_internet(self) -> "Internet":
+        if self.internet is None:
+            raise ValueError(f"{self.name}: path faults need an Internet")
+        return self.internet
+
+    # ------------------------------------------------------------------
+    # node / host churn
+    # ------------------------------------------------------------------
+    def crash_node(self, time: float, node: "BrunetNode") -> FaultEvent:
+        """Kill a P2P node at ``time`` (no close-notify: a true crash)."""
+        return self.at(time, "node.crash", node.name, node.stop)
+
+    def restart_node(self, time: float, node: "BrunetNode",
+                     bootstrap_uris: list["Uri"]) -> FaultEvent:
+        """Restart a previously crashed node against ``bootstrap_uris``."""
+        return self.at(time, "node.restart", node.name,
+                       self._restart, node, bootstrap_uris)
+
+    @staticmethod
+    def _restart(node: "BrunetNode", bootstrap_uris: list["Uri"]) -> None:
+        if not node.active:
+            node.start(list(bootstrap_uris))
+
+    def crash_bootstrap_seed(self, time: float, deployment,
+                             index: int = 0) -> FaultEvent:
+        """Kill the node serving bootstrap URI ``index`` of a deployment.
+
+        The victim is resolved at fire time, so the schedule can be armed
+        before the seed has even started."""
+        return self.at(time, "seed.crash", f"seed[{index}]",
+                       self._crash_seed, deployment, index)
+
+    @staticmethod
+    def _crash_seed(deployment, index: int) -> None:
+        uri = deployment.bootstrap_uris[index]
+        for node in deployment.router_nodes:
+            if node.host.ip == uri.endpoint.ip \
+                    and node.port == uri.endpoint.port:
+                node.stop()
+                return
+        raise LookupError(f"no router node serves bootstrap URI {uri}")
+
+    def crash_host(self, time: float, host: "Host") -> FaultEvent:
+        """Power off a whole host (every socket goes dark)."""
+        return self.at(time, "host.crash", host.name, host.shutdown)
+
+    def boot_host(self, time: float, host: "Host") -> FaultEvent:
+        """Bring a powered-off host back."""
+        return self.at(time, "host.boot", host.name, host.boot)
+
+    # ------------------------------------------------------------------
+    # path faults
+    # ------------------------------------------------------------------
+    def blackout(self, start: float, duration: float,
+                 a: Side = None, b: Side = None,
+                 symmetric: bool = True) -> Blackout:
+        """Hard-partition the matched path for ``[start, start+duration)``."""
+        internet = self._need_internet()
+        self._n_rules += 1
+        rule = Blackout(a, b, symmetric,
+                        name=f"{self.name}.blackout{self._n_rules}")
+        self.at(start, "blackout.start", rule.name,
+                internet.add_fault_rule, rule)
+        self.at(start + duration, "blackout.end", rule.name,
+                internet.remove_fault_rule, rule)
+        return rule
+
+    def burst_loss(self, start: float, duration: float, prob: float,
+                   a: Side = None, b: Side = None,
+                   symmetric: bool = True) -> BurstLoss:
+        """Drop matched datagrams with ``prob`` during the window."""
+        internet = self._need_internet()
+        self._n_rules += 1
+        name = f"{self.name}.burst{self._n_rules}"
+        rule = BurstLoss(prob, self.sim.rng.stream(f"fault.{name}"),
+                         a, b, symmetric, name=name)
+        self.at(start, "burst.start", f"{name} p={prob}",
+                internet.add_fault_rule, rule)
+        self.at(start + duration, "burst.end", name,
+                internet.remove_fault_rule, rule)
+        return rule
+
+    # ------------------------------------------------------------------
+    # NAT faults
+    # ------------------------------------------------------------------
+    def nat_reboot(self, time: float, nat: "Nat") -> FaultEvent:
+        """Reboot a NAT: every mapping dies at once (ISP re-translation,
+        the §V-E home-network event)."""
+        return self.at(time, "nat.reboot", nat.name, nat.expire_all)
+
+    def nat_mapping_timeout(self, time: float, nat: "Nat",
+                            timeout: float) -> FaultEvent:
+        """Change a NAT's mapping-expiry window mid-run (mapping churn)."""
+        return self.at(time, "nat.mapping_timeout",
+                       f"{nat.name} -> {timeout:g}s",
+                       self._set_mapping_timeout, nat, timeout)
+
+    @staticmethod
+    def _set_mapping_timeout(nat: "Nat", timeout: float) -> None:
+        nat.spec = dataclasses.replace(nat.spec, mapping_timeout=timeout)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<FaultSchedule {self.name} armed={len(self.armed)} "
+                f"fired={len(self.fired)}>")

@@ -92,6 +92,7 @@ class FirewallPolicy:
 class _Mapping:
     inner: Endpoint
     public_port: int
+    key: tuple = ()
     # remote endpoints the inner socket has sent to through this mapping
     contacted: set[Endpoint] = field(default_factory=set)
     last_used: float = 0.0
@@ -105,6 +106,11 @@ class Nat:
     may itself be a private address inside a campus NAT.
     """
 
+    #: public ports are drawn from [PORT_MIN, PORT_MAX] and reused after
+    #: their holder expires — real NATs never mint ports past 65535
+    PORT_MIN = 20000
+    PORT_MAX = 65535
+
     def __init__(self, name: str, public_ip: str, subnet: str, spec: NatSpec,
                  clock=None):
         self.name = name
@@ -112,7 +118,7 @@ class Nat:
         self.subnet = subnet if subnet.endswith(".") else subnet + "."
         self.spec = spec
         self._clock = clock or (lambda: 0.0)
-        self._next_port = 20000
+        self._next_port = self.PORT_MIN
         # EIM: key (proto, inner_ep); APDM: key (proto, inner_ep, remote_ep)
         self._by_key: dict[tuple, _Mapping] = {}
         self._by_port: dict[int, _Mapping] = {}
@@ -130,9 +136,27 @@ class Nat:
     def _expired(self, m: _Mapping) -> bool:
         return self._now() - m.last_used > self.spec.mapping_timeout
 
-    def _gc(self, m: _Mapping, key: tuple) -> None:
-        self._by_key.pop(key, None)
+    def _gc(self, m: _Mapping) -> None:
+        self._by_key.pop(m.key, None)
         self._by_port.pop(m.public_port, None)
+
+    def _alloc_port(self) -> int:
+        """Next free public port, wrapping within [PORT_MIN, PORT_MAX].
+
+        Ports whose holder has expired are reclaimed in passing; a port
+        still held by a live mapping is skipped."""
+        span = self.PORT_MAX - self.PORT_MIN + 1
+        for _ in range(span):
+            port = self._next_port
+            self._next_port = (port + 1 if port < self.PORT_MAX
+                               else self.PORT_MIN)
+            holder = self._by_port.get(port)
+            if holder is None:
+                return port
+            if self._expired(holder):
+                self._gc(holder)
+                return port
+        raise RuntimeError(f"{self.name}: public port space exhausted")
 
     def _key(self, proto: str, inner: Endpoint, remote: Endpoint) -> tuple:
         if self.spec.mapping == MappingBehavior.ENDPOINT_INDEPENDENT:
@@ -149,12 +173,11 @@ class Nat:
         key = self._key(proto, inner, remote)
         m = self._by_key.get(key)
         if m is not None and self._expired(m):
-            self._gc(m, key)
+            self._gc(m)
             m = None
         if m is None:
-            port = self._next_port
-            self._next_port += 1
-            m = _Mapping(inner=inner, public_port=port)
+            port = self._alloc_port()
+            m = _Mapping(inner=inner, public_port=port, key=key)
             self._by_key[key] = m
             self._by_port[port] = m
         m.contacted.add(remote)
@@ -173,10 +196,7 @@ class Nat:
             self.drops["no_mapping"] += 1
             return None
         if self._expired(m):
-            # find and drop its key entry too
-            for key, mm in list(self._by_key.items()):
-                if mm is m:
-                    self._gc(m, key)
+            self._gc(m)
             self.drops["no_mapping"] += 1
             return None
         filt = self.spec.filtering

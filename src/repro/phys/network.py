@@ -37,6 +37,9 @@ class Internet:
             sim.rng.stream("phys.latency"))
         self.hosts_by_ip: dict[str, "Host"] = {}
         self.nats_by_ip: dict[str, "Nat"] = {}
+        #: active fault-injection rules (see :mod:`repro.fault.rules`);
+        #: consulted after NAT traversal, before the loss model
+        self.fault_rules: list = []
         self.drops: Counter = Counter()
         self.delivered = 0
         self._public_net = 0
@@ -58,6 +61,15 @@ class Internet:
         if nat.public_ip in self.nats_by_ip:
             raise ValueError(f"duplicate NAT public IP {nat.public_ip}")
         self.nats_by_ip[nat.public_ip] = nat
+
+    def add_fault_rule(self, rule) -> None:
+        """Install a path-fault rule (see :mod:`repro.fault.rules`)."""
+        self.fault_rules.append(rule)
+
+    def remove_fault_rule(self, rule) -> None:
+        """Lift a previously installed fault rule (idempotent)."""
+        if rule in self.fault_rules:
+            self.fault_rules.remove(rule)
 
     def allocate_public_ip(self) -> str:
         """A fresh globally-routable address (for NAT devices)."""
@@ -141,6 +153,10 @@ class Internet:
                 and not fw.allows_inbound(dgram.dst.port):
             self._drop(dgram, f"firewall:{host.site.name}")
             return
+        for rule in self.fault_rules:
+            if rule.drops(src_host, host):
+                self._drop(dgram, f"fault:{rule.name}")
+                return
         if self.latency.sample_loss(src_host, host):
             self._drop(dgram, "loss")
             return

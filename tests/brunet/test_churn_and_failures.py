@@ -115,3 +115,45 @@ def test_concurrent_joins_converge(sim, internet):
     hops = [overlay_hop_count(a, b.addr, reg.get)
             for a in nodes for b in nodes if a is not b]
     assert all(h is not None for h in hops)
+
+
+def test_nat_mapping_expiry_mid_session_relearns_uri(sim, internet):
+    """§V-E: a NAT whose mapping timeout drops below the keep-alive period
+    expires every mapping between pings.  Each outbound keep-alive then
+    opens a *new* public port; peers must track the moving endpoint
+    (ping-request source), the natted node must re-learn its public URI
+    from ping-reply ``observed_uri``, and traffic must keep flowing."""
+    from repro.fault import FaultSchedule
+
+    priv = Site(internet, "home", subnet="10.77.", nat_spec=NatSpec.cone())
+    pub = Site(internet, "pub")
+    nodes, bootstrap = build_overlay(sim, internet, 6, site=pub)
+    host = priv.add_host("natted")
+    node = BrunetNode(sim, host, random_address(sim.rng.stream("n")),
+                      BrunetConfig(), name="natted")
+    node.start(bootstrap)
+    sim.run(until=sim.now + 60)
+    assert node.in_ring
+    uris_before = set(str(u) for u in node.uris.advertised())
+    port_before = priv.nat._next_port
+
+    # mapping lifetime (2 s) now far below the ping interval (15 s)
+    faults = FaultSchedule(sim, internet)
+    t_fault = sim.now + 1.0
+    faults.nat_mapping_timeout(t_fault, priv.nat, 2.0)
+    sim.run(until=sim.now + 300)
+
+    # the NAT kept churning through fresh public ports ...
+    assert priv.nat._next_port > port_before + 3
+    # ... the node re-learned new public URIs from ping replies ...
+    learned = [(t, d) for t, d in sim.tracer.get("uri.learned")
+               if d.get("node") == node.name and t > t_fault]
+    assert learned
+    assert set(str(u) for u in node.uris.advertised()) != uris_before
+    # ... and the overlay session survived: still in the ring, still
+    # reachable from the public side
+    assert node.in_ring
+    live = {n.addr: n for n in nodes if n.active}
+    live[node.addr] = node
+    assert overlay_hop_count(nodes[0], node.addr, live.get) is not None
+    assert overlay_hop_count(node, nodes[0].addr, live.get) is not None

@@ -176,3 +176,27 @@ def test_existing_connection_gains_new_role(world):
                    on_success=lambda c: got.setdefault("conn", c))
     assert ConnectionType.SHORTCUT in got["conn"].types
     assert ConnectionType.LEAF in got["conn"].types
+
+
+def test_race_recheck_with_empty_uris_fires_on_fail(world):
+    """Regression: when a race-abort recheck retries via ``Linker.start``
+    and the peer's URI list has meanwhile become empty, ``start`` returns
+    None without seeing the saved callbacks — waiters (e.g. a leaf
+    overlord's ``_attempting`` flag) must still be failed, not hung."""
+    from repro.brunet.messages import LinkError
+    from repro.brunet import random_address
+    sim, net = world
+    site = Site(net, "pub")
+    a = make_node(sim, net, site, "a")
+    target = random_address(sim.rng.stream("tgt"))
+    dead = Uri.udp("203.0.113.9", 14001)  # no such host: unroutable
+    fails = []
+    attempt = a.linker.start(target, [dead], ConnectionType.STRUCTURED_FAR,
+                             on_fail=lambda: fails.append(1))
+    assert attempt is not None
+    # the peer wins the linking race and tells us to abandon the attempt
+    a.linker.handle_error(LinkError(attempt.token, target), dead.endpoint)
+    # by recheck time every advertised URI of the peer has been withdrawn
+    a.peer_uris[target] = []
+    sim.run(until=sim.now + 120.0)
+    assert fails == [1]

@@ -1,0 +1,119 @@
+"""Liveness layer: keep-alive pings, zombie detection, the hard timeout.
+
+Crashed peers leave no close-notify; the only failure signals are (a) a
+run of unanswered pings, (b) a ``PingReply`` whose ``known`` flag says the
+peer holds no state for us (it restarted), and (c) the ``last_heard``
+backstop when ping accounting itself was confused.  These tests pin each
+signal down in isolation.
+"""
+
+from repro.brunet import BrunetConfig, BrunetNode, random_address
+from repro.brunet.connection import Connection, ConnectionType
+from repro.brunet.table import ConnectionTable
+from repro.fault import FaultSchedule
+from tests.conftest import build_overlay
+
+
+def _conn_pair(nodes):
+    """Some (a, b) from the overlay that hold a connection to each other."""
+    for a in nodes:
+        for conn in a.table.all():
+            b = next((n for n in nodes if n.addr == conn.peer_addr), None)
+            if b is not None and b.table.get(a.addr) is not None:
+                return a, b
+    raise AssertionError("no connected pair in overlay")
+
+
+def test_zombie_connections_resolved_via_known_flag(sim, internet):
+    """A peer that crash-restarts at the same endpoint answers pings again
+    but holds no connection state.  ``known=False`` must resolve every
+    stale one-way link well before any ping ever times out — either the
+    holder drops it (peer-forgot) or the restarted node has re-linked,
+    making the link two-way again."""
+    nodes, _ = build_overlay(sim, internet, 6)
+    _a, b = _conn_pair(nodes)
+    holders = [n for n in nodes if n is not b and n.table.get(b.addr)]
+    assert holders
+    # crash + instant restart: same host, same port, empty table
+    b.stop()
+    b.start([])
+    assert all(b.table.get(n.addr) is None for n in holders)
+    cfg = b.config
+    # b answers every ping, so unanswered_pings never accumulates; only
+    # the known=False path can clear or re-validate the zombies
+    sim.run(until=sim.now + 2 * cfg.ping_interval + 5.0)
+    for n in nodes:
+        if n is not b and n.table.get(b.addr) is not None:
+            assert b.table.get(n.addr) is not None  # no one-way links left
+    drops = [d for _t, d in sim.tracer.get("conn.drop")
+             if d.get("reason") == "peer-forgot"]
+    assert drops  # the flag actually fired somewhere
+
+
+def test_silent_crash_detected_by_ping_timeout(sim, internet):
+    nodes, _ = build_overlay(sim, internet, 6)
+    a, b = _conn_pair(nodes)
+    b.stop()
+    cfg = a.config
+    budget = cfg.ping_interval * (cfg.ping_retries + 2) + 10.0
+    sim.run(until=sim.now + budget)
+    assert a.table.get(b.addr) is None
+
+
+def test_liveness_timeout_backstop_fires_without_ping_accounting(sim,
+                                                                 internet):
+    """With retries effectively disabled, a blackout must still get the
+    dead link cleared by the hard ``last_heard`` timeout."""
+    config = BrunetConfig(ping_retries=10_000, liveness_timeout=40.0)
+    nodes, _ = build_overlay(sim, internet, 6, config=config)
+    a, b = _conn_pair(nodes)
+    faults = FaultSchedule(sim, internet)
+    faults.blackout(sim.now, 10_000.0, a.host, b.host)
+    sim.run(until=sim.now + config.liveness_timeout + 2 * config.ping_interval)
+    assert a.table.get(b.addr) is None
+    reasons = {d.get("reason") for _t, d in sim.tracer.get("conn.drop")
+               if d.get("node") == a.name}
+    assert "liveness-timeout" in reasons
+    assert "ping-timeout" not in reasons  # retries were out of the picture
+
+
+def test_liveness_timeout_zero_disables_backstop(sim, internet):
+    config = BrunetConfig(ping_retries=10_000, liveness_timeout=0.0)
+    nodes, _ = build_overlay(sim, internet, 4, config=config)
+    a, b = _conn_pair(nodes)
+    faults = FaultSchedule(sim, internet)
+    faults.blackout(sim.now, 10_000.0, a.host, b.host)
+    sim.run(until=sim.now + 300.0)
+    assert a.table.get(b.addr) is not None  # nothing may ever drop it
+
+
+def test_healthy_links_never_dropped_by_liveness(sim, internet):
+    nodes, _ = build_overlay(sim, internet, 6)
+    before = {n.name: len(n.table.all()) for n in nodes}
+    sim.run(until=sim.now + 400.0)
+    reasons = {d.get("reason") for _t, d in sim.tracer.get("conn.drop")}
+    assert not reasons & {"ping-timeout", "liveness-timeout", "peer-forgot"}
+    for n in nodes:
+        assert len(n.table.all()) >= before[n.name]
+
+
+def test_connection_table_stale_selects_by_last_heard():
+    table = ConnectionTable(random_address_static())
+    fresh = Connection(random_address_static(1), None,
+                       ConnectionType.STRUCTURED_NEAR, now=0.0)
+    old = Connection(random_address_static(2), None,
+                     ConnectionType.STRUCTURED_FAR, now=0.0)
+    table.add(fresh)
+    table.add(old)
+    fresh.heard_from(95.0)
+    old.heard_from(10.0)
+    assert table.stale(now=100.0, timeout=30.0) == [old]
+    assert table.stale(now=100.0, timeout=0.5) == [fresh, old] \
+        or set(table.stale(now=100.0, timeout=0.5)) == {fresh, old}
+    assert table.stale(now=100.0, timeout=1000.0) == []
+
+
+def random_address_static(salt: int = 0):
+    import numpy as np
+    rng = np.random.default_rng(99 + salt)
+    return random_address(rng)

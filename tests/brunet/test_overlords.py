@@ -130,3 +130,39 @@ class TestLeafOverlord:
         leaf = node.leaf_connection()
         assert leaf is not None
         assert leaf.peer_addr != victim.addr
+
+
+class TestFarOverlord:
+    def test_far_success_releases_pending_slot(self):
+        """Regression: a far connection that actually lands must free its
+        ``_pending`` slot immediately — it used to count against ``need``
+        until the 30 s TTL, so nodes sat below ``far_count`` after churn."""
+        from repro.brunet.connection import Connection
+        from repro.brunet.overlords import FarConnectionOverlord
+        from repro.phys.endpoints import Endpoint
+        sim = Simulator(seed=7)
+        net = Internet(sim)
+        site = Site(net, "pub")
+        host = site.add_host("h")
+        cfg = BrunetConfig(far_count=1)
+        node = BrunetNode(sim, host, random_address(sim.rng.stream("t")), cfg)
+        node.start([])
+        far = next(o for o in node.overlords
+                   if isinstance(o, FarConnectionOverlord))
+        # fake ring membership so the overlord is willing to work
+        node.table.add(Connection(node.addr.offset(12345),
+                                  Endpoint("150.1.0.9", 14001),
+                                  ConnectionType.STRUCTURED_NEAR, sim.now))
+        far.tick()
+        assert len(far._pending) == 1
+        sent = node.stats["ctm_sent"]
+        # the CTM succeeds: a structured-far connection is established
+        far_peer = node.addr.offset(999999)
+        node.table.add(Connection(far_peer, Endpoint("150.1.0.10", 14001),
+                                  ConnectionType.STRUCTURED_FAR, sim.now))
+        assert not far._pending
+        # that link dies; the very next tick must start the repair (no
+        # 30 s dead time from the stale pending entry)
+        node.table.remove(far_peer)
+        far.tick()
+        assert node.stats["ctm_sent"] == sent + 1

@@ -6,12 +6,29 @@ tests only read from them; tests that mutate topology build their own.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.brunet import BrunetConfig, BrunetNode, random_address
 from repro.brunet.uri import Uri
 from repro.phys import Internet, Site
 from repro.sim import Simulator
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow", action="store_true", default=False,
+        help="run tests marked slow (skipped by default to keep tier-1 fast)")
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow") or os.environ.get("RUNSLOW"):
+        return
+    skip = pytest.mark.skip(reason="slow test: pass --runslow to run")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip)
 
 
 @pytest.fixture

@@ -126,3 +126,51 @@ def test_firewall_policy():
     assert fw.allows_inbound(14001)
     assert not fw.allows_inbound(22)
     assert FirewallPolicy().allows_inbound(12345)
+
+
+class TestPortAllocation:
+    """Regression: public ports must stay inside [20000, 65535] — long runs
+    used to mint "ports" past 65535 (monotonic counter, no reclamation)."""
+
+    def test_ports_wrap_within_valid_range(self):
+        nat = make_nat(NatSpec.symmetric())
+        nat._next_port = 65534
+        ports = []
+        for i in range(4):
+            pub = nat.translate_outbound("udp", INNER,
+                                         Endpoint("128.0.0.5", 9000 + i))
+            ports.append(pub.port)
+        assert all(20000 <= p <= 65535 for p in ports)
+        assert len(set(ports)) == 4
+
+    def test_wrapped_allocation_skips_held_ports(self):
+        nat = make_nat(NatSpec.symmetric())
+        nat._next_port = 65534
+        nat.translate_outbound("udp", INNER, REMOTE_A)   # takes 65534
+        nat.translate_outbound("udp", INNER, REMOTE_B)   # takes 65535
+        nat._next_port = 65534  # force a second pass over held ports
+        pub = nat.translate_outbound("udp", INNER, REMOTE_A2)
+        assert pub.port == 20000  # skipped the two live mappings
+
+    def test_wrapped_allocation_reclaims_expired_ports(self):
+        t = {"now": 0.0}
+        nat = make_nat(NatSpec.symmetric(), clock=lambda: t["now"])
+        nat._next_port = 65535
+        old = nat.translate_outbound("udp", INNER, REMOTE_A)
+        assert old.port == 65535
+        t["now"] = 1e4  # far beyond mapping_timeout: the holder is dead
+        nat._next_port = 65535
+        pub = nat.translate_outbound("udp", INNER, REMOTE_B)
+        assert pub.port == 65535
+        # the expired holder was garbage-collected, not leaked
+        assert nat.translate_inbound("udp", 65535, REMOTE_A) is None
+
+    def test_exhausted_port_space_raises(self):
+        nat = make_nat(NatSpec.symmetric())
+        nat.PORT_MIN = nat._next_port = 20000
+        nat.PORT_MAX = 20002
+        for i in range(3):
+            nat.translate_outbound("udp", INNER,
+                                   Endpoint("128.0.0.5", 9000 + i))
+        with pytest.raises(RuntimeError):
+            nat.translate_outbound("udp", INNER, Endpoint("128.0.0.5", 9100))
