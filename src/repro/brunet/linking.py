@@ -32,6 +32,7 @@ from repro.brunet.messages import (
     next_token,
 )
 from repro.brunet.uri import Uri
+from repro.obs.spans import TraceRef
 from repro.phys.endpoints import Endpoint
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -46,7 +47,7 @@ class LinkAttempt:
 
     __slots__ = ("token", "target_addr", "uris", "conn_type", "uri_index",
                  "sends_on_uri", "interval", "timer", "on_success", "on_fail",
-                 "started_at", "race_aborts")
+                 "started_at", "race_aborts", "trace_id", "span")
 
     def __init__(self, token: int, target_addr: Optional[BrunetAddress],
                  uris: list[Uri], conn_type: ConnectionType, started_at: float,
@@ -63,6 +64,9 @@ class LinkAttempt:
         self.on_fail: list[FailCb] = []
         self.started_at = started_at
         self.race_aborts = 0
+        # causal-trace anchors (None unless the handshake is traced)
+        self.trace_id: Optional[int] = None
+        self.span = None
 
     @property
     def current_uri(self) -> Optional[Uri]:
@@ -80,12 +84,22 @@ class Linker:
         self.by_addr: dict[BrunetAddress, LinkAttempt] = {}
         self.failures = 0
         self.successes = 0
+        metrics = node.sim.obs.metrics
+        self._m_attempts = metrics.counter("linking.attempts",
+                                           node=node.name)
+        self._m_successes = metrics.counter("linking.successes",
+                                            node=node.name)
+        self._m_failures = metrics.counter("linking.failures",
+                                           node=node.name)
+        self._m_duration = metrics.histogram("linking.duration_s",
+                                             node=node.name)
 
     # -- public API --------------------------------------------------------
     def start(self, target_addr: Optional[BrunetAddress], uris: list[Uri],
               conn_type: ConnectionType,
               on_success: Optional[SuccessCb] = None,
-              on_fail: Optional[FailCb] = None) -> Optional[LinkAttempt]:
+              on_fail: Optional[FailCb] = None,
+              trace: Optional[TraceRef] = None) -> Optional[LinkAttempt]:
         """Begin (or piggyback on) a linking attempt.
 
         Returns None when a connection already exists (``on_success`` is
@@ -117,6 +131,17 @@ class Linker:
         attempt = LinkAttempt(next_token(), target_addr, list(uris),
                               conn_type, node.sim.now,
                               node.config.link_resend_interval)
+        self._m_attempts.inc()
+        spans = node.sim.obs.spans
+        if trace is not None and spans.enabled:
+            # snapshot the ref *now* — it keeps re-parenting as the trace
+            # continues elsewhere, while this attempt anchors here
+            attempt.trace_id = trace.trace_id
+            attempt.span = spans.start(
+                "link.attempt", node=node.name, t=node.sim.now,
+                trace_id=trace.trace_id, parent=trace.parent,
+                target=str(target_addr), conn_type=conn_type.value,
+                uris=len(uris))
         if on_success is not None:
             attempt.on_success.append(on_success)
         if on_fail is not None:
@@ -141,6 +166,14 @@ class Linker:
         node = self.node
         msg = LinkRequest(attempt.token, node.addr,
                           node.uris.advertised(), attempt.conn_type.value)
+        if attempt.span is not None:
+            sid = node.sim.obs.spans.event(
+                "link.send", node=node.name, t=node.sim.now,
+                trace_id=attempt.trace_id, parent=attempt.span,
+                uri=str(uri), send=attempt.sends_on_uri + 1,
+                interval=attempt.interval)
+            # the request datagram's transit span parents at this send
+            msg.trace = TraceRef(attempt.trace_id, sid)
         node.send_direct(uri.endpoint, msg, node.config.size_link)
         attempt.sends_on_uri += 1
         attempt.timer = node.sim.schedule(attempt.interval,
@@ -158,6 +191,11 @@ class Linker:
             if attempt.current_uri is None:
                 self._fail(attempt)
                 return
+            if attempt.span is not None:
+                self.node.sim.obs.spans.event(
+                    "link.uri_advance", node=self.node.name,
+                    t=self.node.sim.now, trace_id=attempt.trace_id,
+                    parent=attempt.span, uri=str(attempt.current_uri))
             self.node.trace("link.uri_advance",
                             target=attempt.target_addr,
                             uri=str(attempt.current_uri))
@@ -177,19 +215,37 @@ class Linker:
     def _fail(self, attempt: LinkAttempt) -> None:
         self._deregister(attempt)
         self.failures += 1
+        self._m_failures.inc()
+        elapsed = self.node.sim.now - attempt.started_at
+        self._m_duration.observe(elapsed)
+        self._end_attempt_span(attempt, "fail")
         self.node.trace("link.fail", target=attempt.target_addr,
-                        elapsed=self.node.sim.now - attempt.started_at)
+                        elapsed=elapsed)
         for cb in attempt.on_fail:
             cb()
 
     def _complete(self, attempt: LinkAttempt, conn: Connection) -> None:
         self._deregister(attempt)
         self.successes += 1
+        self._m_successes.inc()
+        elapsed = self.node.sim.now - attempt.started_at
+        self._m_duration.observe(elapsed)
+        self._end_attempt_span(attempt, "ok")
         self.node.trace("link.success", target=conn.peer_addr,
-                        elapsed=self.node.sim.now - attempt.started_at,
+                        elapsed=elapsed,
                         conn_type=conn.conn_type.value)
         for cb in attempt.on_success:
             cb(conn)
+
+    def _end_attempt_span(self, attempt: LinkAttempt, status: str) -> None:
+        if attempt.span is None:
+            return
+        spans = self.node.sim.obs.spans
+        spans.end(attempt.span, self.node.sim.now, status=status)
+        # extend the owning trace's reconstruction window: a ctm.handshake
+        # trace is "done" when its slowest link attempt settles
+        spans.end_trace(attempt.trace_id, self.node.sim.now)
+        attempt.span = None
 
     # -- message handlers -----------------------------------------------------
     def handle_request(self, msg: LinkRequest, src: Endpoint) -> None:

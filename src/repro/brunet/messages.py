@@ -15,6 +15,7 @@ from typing import Any, Optional
 
 from repro.brunet.address import BrunetAddress
 from repro.brunet.uri import Uri
+from repro.obs.spans import TraceRef
 
 _token_counter = itertools.count(1)
 
@@ -36,6 +37,8 @@ class LinkRequest:
     sender_addr: BrunetAddress
     sender_uris: list[Uri]
     conn_type: str  # ConnectionType value
+    #: causal-trace context (None unless the handshake is being traced)
+    trace: Optional[TraceRef] = None
 
 
 @dataclass
@@ -49,6 +52,7 @@ class LinkReply:
     sender_uris: list[Uri]
     observed_uri: Uri
     conn_type: str
+    trace: Optional[TraceRef] = None
 
 
 @dataclass
@@ -173,3 +177,6 @@ class RoutedPacket:
     ttl: int = 32
     hops: int = 0
     via: list = field(default_factory=list)  # node addresses traversed
+    #: causal-trace context; each routing hop re-parents it at its own
+    #: span, so the hop chain reconstructs as a tree (see repro.obs.spans)
+    trace: Optional[TraceRef] = None

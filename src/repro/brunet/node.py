@@ -33,6 +33,7 @@ from repro.brunet.messages import (
 from repro.brunet.routing import next_hop
 from repro.brunet.table import ConnectionTable
 from repro.brunet.uri import Uri, UriSet
+from repro.obs.spans import TraceRef
 from repro.phys.endpoints import Endpoint
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -72,6 +73,17 @@ class BrunetNode:
         self.started_at: Optional[float] = None
         self.table.on_added.append(self._connection_added)
         self.table.on_removed.append(self._connection_removed)
+        # pre-resolved metric children: hot paths pay one inc() each
+        metrics = sim.obs.metrics
+        self._m_sent = metrics.counter("brunet.route.sent", node=self.name)
+        self._m_forwarded = metrics.counter("brunet.route.forwarded",
+                                            node=self.name)
+        self._m_delivered = metrics.counter("brunet.route.delivered",
+                                            node=self.name)
+        self._m_hops = metrics.histogram("brunet.route.hops",
+                                         node=self.name)
+        metrics.gauge_fn("brunet.connections", lambda: len(self.table),
+                         node=self.name)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -145,18 +157,29 @@ class BrunetNode:
             self.sock.send(dst, msg, size=size)
 
     def send_over(self, conn: Connection, pkt: RoutedPacket) -> None:
+        if pkt.trace is not None:
+            self.sim.obs.spans.hop(
+                pkt.trace, "route.hop", self.name, self.sim.now,
+                hops=pkt.hops, next=str(conn.peer_addr))
         pkt.hops += 1
         pkt.via.append(self.addr)
         conn.packets_sent += 1
         conn.bytes_sent += pkt.size
-        self.stats["forwarded" if pkt.src != self.addr else "sent"] += 1
+        if pkt.src != self.addr:
+            self.stats["forwarded"] += 1
+            self._m_forwarded.inc()
+        else:
+            self.stats["sent"] += 1
+            self._m_sent.inc()
         self.send_direct(conn.remote_endpoint, pkt,
                          pkt.size + self.config.size_routed_header)
 
     def send_routed(self, dest: BrunetAddress, payload: Any, size: int,
-                    exact: bool = True) -> RoutedPacket:
+                    exact: bool = True,
+                    trace: Optional[TraceRef] = None) -> RoutedPacket:
         pkt = RoutedPacket(src=self.addr, dest=dest, payload=payload,
-                           size=size, exact=exact, ttl=self.config.ttl)
+                           size=size, exact=exact, ttl=self.config.ttl,
+                           trace=trace)
         self.route(pkt)
         return pkt
 
@@ -176,10 +199,20 @@ class BrunetNode:
             # depend on the bootstrap overlay staying alive
         msg = CtmRequest(next_token(), self.addr, self.uris.advertised(),
                          conn_type.value, reply_via=reply_via, fanout=fanout)
+        ref = None
+        spans = self.sim.obs.spans
+        if spans.enabled:
+            tid = spans.maybe_trace("ctm")
+            if tid is not None:
+                root = spans.start(
+                    "ctm.handshake", node=self.name, t=self.sim.now,
+                    trace_id=tid, dest=str(dest),
+                    conn_type=conn_type.value, via_leaf=via_leaf)
+                ref = TraceRef(tid, root)
         pkt = RoutedPacket(src=self.addr, dest=dest, payload=msg,
                            size=self.config.size_ctm, exact=False,
                            exclude_dest_link=(dest == self.addr),
-                           ttl=self.config.ttl)
+                           ttl=self.config.ttl, trace=ref)
         self.stats["ctm_sent"] += 1
         self.route(pkt)
 
@@ -198,6 +231,10 @@ class BrunetNode:
             return
         if pkt.hops >= pkt.ttl:
             self.stats["ttl_drop"] += 1
+            if pkt.trace is not None:
+                self.sim.obs.spans.hop(
+                    pkt.trace, "route.drop", self.name, self.sim.now,
+                    reason="ttl", hops=pkt.hops)
             self.trace("route.ttl_drop", dest=pkt.dest)
             return
         if pkt.dest == self.addr and not pkt.exclude_dest_link:
@@ -230,6 +267,10 @@ class BrunetNode:
                     return
         if pkt.exact and pkt.dest != self.addr:
             self.stats["undeliverable"] += 1
+            if pkt.trace is not None:
+                self.sim.obs.spans.hop(
+                    pkt.trace, "route.drop", self.name, self.sim.now,
+                    reason="undeliverable", hops=pkt.hops)
             self.trace("route.undeliverable", dest=pkt.dest)
             return
         self._deliver(pkt)
@@ -237,18 +278,28 @@ class BrunetNode:
     def _deliver(self, pkt: RoutedPacket) -> None:
         payload = pkt.payload
         self.stats["delivered"] += 1
+        self._m_delivered.inc()
+        self._m_hops.observe(pkt.hops)
+        if pkt.trace is not None:
+            self.sim.obs.spans.hop(
+                pkt.trace, "route.deliver", self.name, self.sim.now,
+                hops=pkt.hops, kind=type(payload).__name__)
         if isinstance(payload, CtmRequest):
             self._handle_ctm_request(pkt, payload)
         elif isinstance(payload, CtmReply):
-            self._handle_ctm_reply(payload)
+            self._handle_ctm_reply(pkt, payload)
         elif isinstance(payload, Forward):
             inner = RoutedPacket(src=pkt.src, dest=payload.final_dest,
                                  payload=payload.inner, size=payload.size,
                                  exact=True, ttl=self.config.ttl,
-                                 hops=pkt.hops)
+                                 hops=pkt.hops, trace=pkt.trace)
             self.route(inner)
         elif isinstance(payload, IpEncap):
             if pkt.dest == self.addr and self.ip_handler is not None:
+                if pkt.trace is not None:
+                    self.sim.obs.spans.end_trace(
+                        pkt.trace.trace_id, self.sim.now,
+                        hops=pkt.hops, dest_node=self.name)
                 self.ip_handler(payload)
             else:
                 self.stats["ip_drop"] += 1
@@ -269,14 +320,20 @@ class BrunetNode:
         conn_type = ConnectionType(msg.conn_type)
         reply = CtmReply(msg.token, self.addr, self.uris.advertised(),
                          msg.conn_type)
+        # the reply travels its own overlay path: branch a fresh ref off
+        # the request's arrival point so both paths share the trace but
+        # re-parent independently
+        reply_ref = (TraceRef(pkt.trace.trace_id, pkt.trace.parent)
+                     if pkt.trace is not None else None)
         if msg.reply_via is not None and msg.reply_via != self.addr:
             fwd = Forward(msg.initiator_addr, reply, self.config.size_ctm)
             self.send_routed(msg.reply_via, fwd, self.config.size_ctm,
-                             exact=True)
+                             exact=True, trace=reply_ref)
         else:
             self.send_routed(msg.initiator_addr, reply, self.config.size_ctm,
-                             exact=True)
-        self.linker.start(msg.initiator_addr, msg.initiator_uris, conn_type)
+                             exact=True, trace=reply_ref)
+        self.linker.start(msg.initiator_addr, msg.initiator_uris, conn_type,
+                          trace=pkt.trace)
         if pkt.dest != self.addr and msg.fanout > 0:
             self._ctm_fanout(pkt, msg)
 
@@ -290,16 +347,20 @@ class BrunetNode:
                       <= directed_distance(self.addr, joining))
         approach = "left" if i_am_right else "right"
         copy = dataclasses.replace(msg, fanout=msg.fanout - 1)
+        fan_ref = (TraceRef(pkt.trace.trace_id, pkt.trace.parent)
+                   if pkt.trace is not None else None)
         fan_pkt = RoutedPacket(src=pkt.src, dest=joining, payload=copy,
                                size=pkt.size, exact=False,
                                exclude_dest_link=True, approach=approach,
-                               ttl=self.config.ttl, hops=pkt.hops)
+                               ttl=self.config.ttl, hops=pkt.hops,
+                               trace=fan_ref)
         self.route(fan_pkt)
 
-    def _handle_ctm_reply(self, msg: CtmReply) -> None:
+    def _handle_ctm_reply(self, pkt: RoutedPacket, msg: CtmReply) -> None:
         self.stats["ctm_reply_received"] += 1
         conn_type = ConnectionType(msg.conn_type)
-        self.linker.start(msg.responder_addr, msg.responder_uris, conn_type)
+        self.linker.start(msg.responder_addr, msg.responder_uris, conn_type,
+                          trace=pkt.trace)
 
     # ------------------------------------------------------------------
     # datagram dispatch
@@ -420,8 +481,21 @@ class BrunetNode:
             cb(conn)
 
     def trace(self, category: str, **data: Any) -> None:
-        """Record a node-stamped trace event."""
-        self.sim.trace(category, node=self.name, **data)
+        """Record a node-stamped trace event.
+
+        Fans in to the flight recorder (when one is enabled) and the sim
+        tracer; with the tracer disabled only its exact counters are
+        touched, so category counts survive big untraced sweeps."""
+        sim = self.sim
+        recorder = sim.obs.recorder
+        if recorder is not None:
+            recorder.record(sim.now, self.name, category, data)
+        tracer = sim.tracer
+        if tracer.enabled:
+            data["node"] = self.name
+            tracer.record(sim.now, category, data)
+        else:
+            tracer.counters[category] += 1
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<BrunetNode {self.name} {self.addr!r} conns={len(self.table)}>"

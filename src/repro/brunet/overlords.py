@@ -67,6 +67,8 @@ class LeafConnectionOverlord(Overlord):
         super().__init__(node)
         self._seed_index = 0
         self._attempting = False
+        self._m_attempts = node.sim.obs.metrics.counter(
+            "overlord.leaf_attempts", node=node.name)
 
     def tick(self) -> None:
         """Ensure a live leaf connection to some bootstrap seed."""
@@ -83,6 +85,7 @@ class LeafConnectionOverlord(Overlord):
         def on_done(*_args) -> None:
             self._attempting = False
 
+        self._m_attempts.inc()
         node.linker.start(None, [uri], ConnectionType.LEAF,
                           on_success=on_done, on_fail=on_done)
 
@@ -103,6 +106,8 @@ class NearConnectionOverlord(Overlord):
     def __init__(self, node: "BrunetNode"):
         super().__init__(node)
         self._last_announce = -1e18
+        self._m_announces = node.sim.obs.metrics.counter(
+            "overlord.announces", node=node.name)
         node.on_disconnection.append(self._on_disconnection)
         node.on_connection.append(self._on_connection)
 
@@ -130,6 +135,7 @@ class NearConnectionOverlord(Overlord):
         if node.sim.now - self._last_announce < 1.0:
             return
         self._last_announce = node.sim.now
+        self._m_announces.inc()
         node.announce()
 
     def tick(self) -> None:
@@ -176,6 +182,8 @@ class FarConnectionOverlord(Overlord):
         super().__init__(node)
         self._rng = node.sim.rng.stream(f"brunet.far.{node.name}")
         self._pending: list[float] = []  # expiry times of CTMs in flight
+        self._m_ctms = node.sim.obs.metrics.counter(
+            "overlord.far_ctms", node=node.name)
         node.on_connection.append(self._on_connection)
 
     def _on_connection(self, conn: Connection) -> None:
@@ -210,6 +218,7 @@ class FarConnectionOverlord(Overlord):
         for _ in range(need):
             target = kleinberg_far_target(int(node.addr), self._rng,
                                           min_distance=spacing)
+            self._m_ctms.inc()
             node.connect_to(target, ConnectionType.STRUCTURED_FAR)
             self._pending.append(now + self.PENDING_TTL)
 
@@ -232,6 +241,11 @@ class ShortcutConnectionOverlord(Overlord):
         self._last_nonzero: dict[BrunetAddress, float] = {}
         cfg = node.config
         self._pending_ttl = 2.0 * cfg.uri_give_up_time() + 30.0
+        metrics = node.sim.obs.metrics
+        self._m_ctms = metrics.counter("overlord.shortcut_ctms",
+                                       node=node.name)
+        self._m_evictions = metrics.counter("overlord.shortcut_evictions",
+                                            node=node.name)
         node.on_connection.append(
             lambda conn: self._pending.pop(conn.peer_addr, None))
 
@@ -289,10 +303,12 @@ class ShortcutConnectionOverlord(Overlord):
             victim = min(shortcuts, key=lambda c: self.score_of(c.peer_addr))
             if self.score_of(victim.peer_addr) >= score:
                 return
+            self._m_evictions.inc()
             node.drop_connection(victim, reason="shortcut-evicted",
                                  notify=True)
         self._pending[dest] = now + self._pending_ttl
         node.trace("shortcut.initiate", dest=dest, score=score)
+        self._m_ctms.inc()
         node.connect_to(dest, ConnectionType.SHORTCUT)
 
     def _drop_idle(self) -> None:

@@ -20,6 +20,7 @@ deterministic.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -30,6 +31,7 @@ from repro.brunet.uri import Uri
 from repro.experiments.common import print_table
 from repro.experiments.plotting import ascii_plot, export_series_csv
 from repro.fault import FaultSchedule
+from repro.ipop.ippacket import IcmpEcho
 from repro.ipop.mapping import addr_for_ip
 from repro.ipop.router import IpopRouter
 from repro.phys.network import Internet
@@ -56,6 +58,8 @@ class ChurnResult:
     #: (seconds since kill, routable pair fraction, ring consistent)
     series: list[tuple[float, float, bool]] = field(default_factory=list)
     fault_log: list = field(default_factory=list)
+    #: export manifest when the run was observed (``obs_dir`` given)
+    obs_manifest: Optional[dict] = None
 
     @property
     def recovered(self) -> bool:
@@ -70,6 +74,7 @@ def _build_overlay(sim: Simulator, n_nodes: int,
     internet = Internet(sim)
     sites = [Site(internet, f"pub{i}") for i in range(N_SITES)]
     nodes: list[BrunetNode] = []
+    routers: list[IpopRouter] = []
     bootstrap: list[Uri] = []
     for i in range(n_nodes):
         virtual_ip = f"172.16.9.{i + 2}"
@@ -77,12 +82,12 @@ def _build_overlay(sim: Simulator, n_nodes: int,
         node = BrunetNode(sim, host, addr_for_ip(virtual_ip), config,
                           name=f"churn{i}")
         node.start(list(bootstrap))
-        IpopRouter(node, virtual_ip)
+        routers.append(IpopRouter(node, virtual_ip))
         if not bootstrap:
             bootstrap.append(Uri.udp(host.ip, node.port))
         nodes.append(node)
         sim.run(until=sim.now + 3.0)  # staggered joins
-    return internet, nodes
+    return internet, nodes, routers
 
 
 def _ring_consistent(live: list[BrunetNode]) -> bool:
@@ -105,12 +110,44 @@ def _routable_fraction(live: list[BrunetNode]) -> float:
     return ok / total if total else 1.0
 
 
+def _probe_multi_hop(sim: Simulator, nodes: list[BrunetNode],
+                     routers: list[IpopRouter]) -> None:
+    """Ping across the first ordered pair whose greedy route is ≥ 2 hops,
+    so the span export contains a genuinely multi-hop virtual-IP trace."""
+    registry = {n.addr: n for n in nodes if n.active}
+    for i, a in enumerate(nodes):
+        if not a.active:
+            continue
+        for j, b in enumerate(nodes):
+            if a is b or not b.active:
+                continue
+            path = trace_route(a, b.addr, registry.get)
+            if path is None or len(path) < 3:  # < 2 overlay hops
+                continue
+            echo = IcmpEcho(seq=1, is_reply=False, sent_at=sim.now,
+                            data_size=64)
+            routers[i].send_ip(routers[j].virtual_ip, "icmp", 0, echo, 72)
+            sim.run(until=sim.now + 5.0)  # let echo + reply land
+            return
+
+
 def run(seed: int = 0, n_nodes: int = 20, kill_fraction: float = 0.25,
         settle: float = 400.0, horizon: float = 600.0,
-        sample_every: float = 5.0) -> ChurnResult:
-    """One deterministic churn-recovery measurement."""
+        sample_every: float = 5.0,
+        obs_dir: Optional[str] = None) -> ChurnResult:
+    """One deterministic churn-recovery measurement.
+
+    ``obs_dir`` — when given, causal span tracing and the flight recorder
+    are enabled and the full observability bundle (metrics, spans, events,
+    manifest) is exported there at the end of the run.
+    """
     sim = Simulator(seed=seed, trace=False)
-    internet, nodes = _build_overlay(sim, n_nodes, BrunetConfig())
+    if obs_dir is not None:
+        os.makedirs(obs_dir, exist_ok=True)
+        sim.obs.enable_spans()
+        sim.obs.enable_recorder(
+            capacity=256, spill_path=os.path.join(obs_dir, "events.jsonl"))
+    internet, nodes, routers = _build_overlay(sim, n_nodes, BrunetConfig())
 
     # warm up to a fully routable overlay before injecting anything
     deadline = sim.now + settle
@@ -119,6 +156,8 @@ def run(seed: int = 0, n_nodes: int = 20, kill_fraction: float = 0.25,
         if _ring_consistent(live) and _routable_fraction(live) == 1.0:
             break
         sim.run(until=sim.now + 10.0)
+    if obs_dir is not None:
+        _probe_multi_hop(sim, nodes, routers)
 
     # crash the victims (deterministic choice from the master seed)
     n_killed = max(1, round(n_nodes * kill_fraction))
@@ -147,10 +186,13 @@ def run(seed: int = 0, n_nodes: int = 20, kill_fraction: float = 0.25,
             recovery_routes = elapsed
         if recovery_ring is not None and recovery_routes is not None:
             break
+    manifest = (sim.obs.export(obs_dir, seed=seed)
+                if obs_dir is not None else None)
     return ChurnResult(seed=seed, n_nodes=n_nodes, n_killed=n_killed,
                        t_kill=t_kill, recovery_ring=recovery_ring,
                        recovery_routes=recovery_routes, series=series,
-                       fault_log=list(faults.fired))
+                       fault_log=list(faults.fired),
+                       obs_manifest=manifest)
 
 
 def report(result: ChurnResult, csv_dir: Optional[str] = None) -> None:
@@ -172,6 +214,14 @@ def report(result: ChurnResult, csv_dir: Optional[str] = None) -> None:
         path = export_series_csv(f"{csv_dir}/churn_recovery.csv",
                                  {"routable_fraction": (xs, ys)})
         print(f"[csv] {path}")
+    if result.obs_manifest:
+        traces = result.obs_manifest.get("traces", [])
+        ip = [t["trace"] for t in traces if t["kind"] == "ip"]
+        ctm = [t["trace"] for t in traces if t["kind"] == "ctm"]
+        print(f"[obs] {len(traces)} traces exported "
+              f"({len(ip)} ip, {len(ctm)} ctm); inspect with e.g. "
+              f"python -m repro.obs.inspect <dir>"
+              + (f" --trace {ip[0]}" if ip else ""))
 
 
 def main(seed: int = 0, n_nodes: int = 20,

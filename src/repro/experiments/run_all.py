@@ -43,7 +43,8 @@ EXPERIMENTS = {
 
 
 def _run_one(name: str, full: bool, seed: int, scale: float,
-             csv_dir: str | None = None) -> None:
+             csv_dir: str | None = None,
+             metrics_out: str | None = None) -> None:
     t0 = time.time()
     if name == "fig4":
         profiles = fig4_join_profile.run(
@@ -93,8 +94,11 @@ def _run_one(name: str, full: bool, seed: int, scale: float,
     elif name == "churn":
         result = churn_recovery.run(seed=seed,
                                     n_nodes=40 if full else 20,
-                                    kill_fraction=0.25)
+                                    kill_fraction=0.25,
+                                    obs_dir=metrics_out)
         churn_recovery.report(result, csv_dir=csv_dir)
+        if metrics_out:
+            print(f"[obs] export bundle in {metrics_out}/")
     else:
         raise SystemExit(f"unknown experiment {name!r}")
     print(f"[{name} finished in {time.time() - t0:.0f}s wall]")
@@ -115,6 +119,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="overlay scale (default 0.5, 1.0 with --full)")
     parser.add_argument("--csv-dir", default=None,
                         help="export raw series as CSV into this directory")
+    parser.add_argument("--metrics-out", default=None, metavar="DIR",
+                        help="export the observability bundle (metrics, "
+                             "spans, flight-recorder events) into DIR; "
+                             "currently wired into the churn experiment")
     parser.add_argument("--profile", action="store_true",
                         help="run under cProfile and print the top-20 "
                              "functions by cumulative time")
@@ -130,7 +138,8 @@ def main(argv: list[str] | None = None) -> int:
 
     def run_selected() -> None:
         for name in names:
-            _run_one(name, args.full, args.seed, scale, csv_dir=args.csv_dir)
+            _run_one(name, args.full, args.seed, scale, csv_dir=args.csv_dir,
+                     metrics_out=args.metrics_out)
 
     if args.profile:
         import cProfile

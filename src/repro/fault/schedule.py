@@ -77,8 +77,12 @@ class FaultSchedule:
 
     def _fire(self, event: FaultEvent, fn: Callable[..., None],
               args: tuple) -> None:
-        self.fired.append(dataclasses.replace(event, time=self.sim.now))
-        self.sim.trace(f"fault.{event.kind}", detail=event.detail)
+        sim = self.sim
+        self.fired.append(dataclasses.replace(event, time=sim.now))
+        sim.trace(f"fault.{event.kind}", detail=event.detail)
+        sim.obs.metrics.counter("fault.injected", kind=event.kind).inc()
+        sim.obs.event(sim.now, self.name, f"fault.{event.kind}",
+                      {"detail": event.detail})
         fn(*args)
 
     def _need_internet(self) -> "Internet":

@@ -13,6 +13,7 @@ from typing import TYPE_CHECKING, Any, Callable
 from repro.brunet.messages import IpEncap
 from repro.ipop.ippacket import IcmpEcho, VirtualIpPacket
 from repro.ipop.mapping import addr_for_ip
+from repro.obs.spans import TraceRef
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.brunet.node import BrunetNode
@@ -35,6 +36,15 @@ class IpopRouter:
         self._handlers: dict[tuple[str, int], Handler] = {}
         self.packets_out = 0
         self.packets_in = 0
+        metrics = node.sim.obs.metrics
+        self._m_encap_pkts = metrics.counter("ipop.encap_packets",
+                                             node=node.name)
+        self._m_encap_bytes = metrics.counter("ipop.encap_bytes",
+                                              node=node.name)
+        self._m_decap_pkts = metrics.counter("ipop.decap_packets",
+                                             node=node.name)
+        self._m_decap_bytes = metrics.counter("ipop.decap_bytes",
+                                              node=node.name)
         node.ip_handler = self._on_encap
 
     # -- guest-facing API -------------------------------------------------
@@ -57,11 +67,27 @@ class IpopRouter:
         self._transmit(pkt)
 
     def _transmit(self, pkt: VirtualIpPacket) -> None:
+        node = self.node
         dest_addr = addr_for_ip(pkt.dst_ip)
         self.packets_out += 1
-        self.node.inspect_traffic(dest_addr)
-        self.node.send_routed(dest_addr, IpEncap(pkt, pkt.size),
-                              size=pkt.size, exact=True)
+        self._m_encap_pkts.inc()
+        self._m_encap_bytes.inc(pkt.size)
+        ref = None
+        spans = node.sim.obs.spans
+        if spans.enabled:
+            tid = spans.maybe_trace("ip")
+            if tid is not None:
+                now = node.sim.now
+                root = spans.start(
+                    "ip.packet", node=node.name, t=now, trace_id=tid,
+                    src=pkt.src_ip, dst=pkt.dst_ip, proto=pkt.proto,
+                    port=pkt.port, size=pkt.size)
+                ref = TraceRef(tid, root)
+                spans.hop(ref, "ipop.encap", node.name, now,
+                          dest=str(dest_addr))
+        node.inspect_traffic(dest_addr)
+        node.send_routed(dest_addr, IpEncap(pkt, pkt.size),
+                         size=pkt.size, exact=True, trace=ref)
 
     # -- overlay-facing ----------------------------------------------------
     def _on_encap(self, encap: IpEncap) -> None:
@@ -70,6 +96,8 @@ class IpopRouter:
             self.node.stats["ip_misdelivered"] += 1
             return
         self.packets_in += 1
+        self._m_decap_pkts.inc()
+        self._m_decap_bytes.inc(pkt.size)
         if pkt.proto == "icmp":
             self._on_icmp(pkt)
             return

@@ -1,0 +1,127 @@
+"""Observability hub: one handle per simulation for metrics, spans and
+the flight recorder.
+
+Every :class:`~repro.sim.engine.Simulator` owns an :class:`Observability`
+(``sim.obs``).  Metrics are **on by default** — child-instrument
+increments are cheap enough for hot paths — while span tracing and the
+flight recorder are opt-in (:meth:`enable_spans` /
+:meth:`enable_recorder`), because they allocate per event.
+
+:meth:`export` writes the standard run-export layout consumed by the
+inspector CLI (``python -m repro.obs.inspect``)::
+
+    <dir>/metrics.jsonl   one JSON object per metric series
+    <dir>/metrics.csv     the same, flattened
+    <dir>/spans.jsonl     one JSON object per span (when spans enabled)
+    <dir>/events.jsonl    flight-recorder spill (when recorder enabled)
+    <dir>/manifest.json   seed/time/trace-id index
+
+All exported values derive from simulation state only, so a fixed seed
+produces byte-identical exports.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import TYPE_CHECKING, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import FlightRecorder
+from repro.obs.spans import SpanCollector
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+#: default per-kind span sampling used by :meth:`Observability.enable_spans`
+DEFAULT_SAMPLE = {"ip": 1, "ctm": 1}
+
+
+class Observability:
+    """Metrics + spans + flight recorder for one simulator."""
+
+    __slots__ = ("sim", "metrics", "spans", "recorder")
+
+    def __init__(self, sim: "Simulator", metrics: bool = True):
+        self.sim = sim
+        self.metrics = MetricsRegistry(enabled=metrics)
+        self.spans = SpanCollector(enabled=False)
+        self.recorder: Optional[FlightRecorder] = None
+        if metrics:
+            self.metrics.add_collector(self._collect_sim)
+
+    def _collect_sim(self, m: MetricsRegistry) -> None:
+        m.gauge("sim.events_processed").set(self.sim.events_processed)
+        m.gauge("sim.now").set(self.sim.now)
+
+    # -- switches -------------------------------------------------------
+    def enable_spans(self, sample: Optional[dict[str, int]] = None,
+                     max_spans: int = 200_000) -> SpanCollector:
+        """Turn on causal tracing.  ``sample`` maps trace kinds to
+        sampling periods (see :class:`~repro.obs.spans.SpanCollector`);
+        the default traces every virtual-IP packet and every CTM."""
+        self.spans = SpanCollector(enabled=True,
+                                   sample=dict(sample or DEFAULT_SAMPLE),
+                                   max_spans=max_spans)
+        return self.spans
+
+    def enable_recorder(self, capacity: int = 256,
+                        spill_path: Optional[str] = None) -> FlightRecorder:
+        """Turn on the per-node flight recorder."""
+        self.recorder = FlightRecorder(capacity=capacity,
+                                       spill_path=spill_path)
+        return self.recorder
+
+    # -- event fan-in ---------------------------------------------------
+    def event(self, t: float, node: str, category: str,
+              data: Optional[dict] = None) -> None:
+        """Feed one node event to the flight recorder (no-op when the
+        recorder is off)."""
+        if self.recorder is not None:
+            self.recorder.record(t, node, category, data)
+
+    # -- export ---------------------------------------------------------
+    def export(self, out_dir: str, seed: Optional[int] = None) -> dict:
+        """Write the run-export bundle into ``out_dir``; returns the
+        manifest dict."""
+        os.makedirs(out_dir, exist_ok=True)
+        manifest: dict = {
+            "seed": seed,
+            "sim_time": self.sim.now,
+            "events_processed": self.sim.events_processed,
+            "files": {},
+            "traces": [],
+        }
+        path = self.metrics.export_jsonl(
+            os.path.join(out_dir, "metrics.jsonl"))
+        manifest["files"]["metrics"] = os.path.basename(path)
+        path = self.metrics.export_csv(
+            os.path.join(out_dir, "metrics.csv"))
+        manifest["files"]["metrics_csv"] = os.path.basename(path)
+        if self.spans.enabled:
+            path = self.spans.export_jsonl(
+                os.path.join(out_dir, "spans.jsonl"))
+            manifest["files"]["spans"] = os.path.basename(path)
+            for tid in self.spans.trace_ids():
+                root = self.spans.roots.get(tid)
+                root_span = next((s for s in self.spans.spans
+                                  if s.id == root), None)
+                manifest["traces"].append({
+                    "trace": tid,
+                    "kind": self.spans.trace_kind.get(tid, "?"),
+                    "root": root_span.name if root_span else None,
+                    "node": root_span.node if root_span else None,
+                    "t0": root_span.t0 if root_span else None,
+                    "duration": (root_span.duration if root_span
+                                 else None),
+                    "spans": len(self.spans.by_trace(tid)),
+                })
+        if self.recorder is not None:
+            self.recorder.close()
+            if self.recorder.spill_path:
+                manifest["files"]["events"] = os.path.basename(
+                    self.recorder.spill_path)
+        with open(os.path.join(out_dir, "manifest.json"), "w") as fh:
+            json.dump(manifest, fh, sort_keys=True, indent=1)
+            fh.write("\n")
+        return manifest

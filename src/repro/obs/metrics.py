@@ -1,0 +1,273 @@
+"""Labeled metrics: counters, gauges and log-bucketed histograms.
+
+A :class:`MetricsRegistry` hands out *child* instruments — one per
+``(name, labels)`` pair — so hot paths pay only an attribute lookup and an
+integer add per event.  Instrument names are dotted, layer-prefixed
+namespaces (``brunet.route.hops``, ``linking.attempts``,
+``nat.mappings_live``, ``ipop.encap_bytes``, ``fault.injected``); labels
+carry the per-node / per-reason dimension so one export line exists per
+series.
+
+Cheap-by-construction rules:
+
+* child instruments are resolved **once** (usually in a constructor) and
+  cached on the instrumented object — no per-event dict hashing;
+* a disabled registry returns a shared no-op instrument, so call sites
+  never need their own ``if``;
+* anything that is already counted elsewhere (``node.stats``,
+  ``Internet.drops``, live NAT mappings) is pulled in lazily at export
+  time through *collector callbacks* and callback gauges — zero hot-path
+  cost.
+
+Exports (:meth:`MetricsRegistry.export_jsonl` /
+:meth:`~MetricsRegistry.export_csv`) are sorted by ``(name, labels)`` and
+contain only simulation-derived values, so a fixed-seed run produces
+byte-identical files.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Callable, Iterable, Optional
+
+LabelItems = tuple[tuple[str, str], ...]
+
+
+class NullInstrument:
+    """Shared no-op stand-in returned by a disabled registry."""
+
+    __slots__ = ()
+
+    def inc(self, n: float = 1) -> None:
+        pass
+
+    def dec(self, n: float = 1) -> None:
+        pass
+
+    def set(self, v: float) -> None:
+        pass
+
+    def observe(self, v: float) -> None:
+        pass
+
+
+NULL = NullInstrument()
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelItems):
+        self.name = name
+        self.labels = labels
+        self.value: float = 0
+
+    def inc(self, n: float = 1) -> None:
+        """Add ``n`` (default 1)."""
+        self.value += n
+
+    def row(self) -> dict:
+        return {"value": self.value}
+
+
+class Gauge:
+    """Point-in-time value that can move both ways."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelItems):
+        self.name = name
+        self.labels = labels
+        self.value: float = 0
+
+    def set(self, v: float) -> None:
+        self.value = v
+
+    def inc(self, n: float = 1) -> None:
+        self.value += n
+
+    def dec(self, n: float = 1) -> None:
+        self.value -= n
+
+    def row(self) -> dict:
+        return {"value": self.value}
+
+
+class CallbackGauge:
+    """Gauge whose value is a function sampled at export time."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "fn")
+
+    def __init__(self, name: str, labels: LabelItems,
+                 fn: Callable[[], float]):
+        self.name = name
+        self.labels = labels
+        self.fn = fn
+
+    @property
+    def value(self) -> float:
+        return self.fn()
+
+    def row(self) -> dict:
+        return {"value": self.fn()}
+
+
+class Histogram:
+    """Log₂-bucketed histogram: O(1) observe, ~60 buckets over any range.
+
+    An observation ``v > 0`` lands in the bucket whose upper bound is the
+    smallest power of two ≥ ``v`` (``frexp`` exponent); non-positive
+    values land in the dedicated ``le=0`` bucket.  Bucket math never
+    allocates, so histograms are safe on per-packet paths.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "buckets", "count", "total")
+
+    def __init__(self, name: str, labels: LabelItems):
+        self.name = name
+        self.labels = labels
+        self.buckets: dict[int, int] = {}  # exponent -> count; -inf as None
+        self.count = 0
+        self.total: float = 0.0
+
+    def observe(self, v: float) -> None:
+        """Record one sample."""
+        self.count += 1
+        self.total += v
+        exp = math.frexp(v)[1] if v > 0 else -1024  # le=0 sentinel
+        self.buckets[exp] = self.buckets.get(exp, 0) + 1
+
+    @staticmethod
+    def bound(exp: int) -> float:
+        """Upper bound of the bucket with exponent ``exp``."""
+        return 0.0 if exp == -1024 else float(2.0 ** exp)
+
+    def quantile(self, q: float) -> float:
+        """Approximate q-quantile (upper bucket bound), NaN when empty."""
+        if not self.count:
+            return float("nan")
+        need = q * self.count
+        seen = 0
+        for exp in sorted(self.buckets):
+            seen += self.buckets[exp]
+            if seen >= need:
+                return self.bound(exp)
+        return self.bound(max(self.buckets))
+
+    def row(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "buckets": {f"le={self.bound(e):g}": n
+                        for e, n in sorted(self.buckets.items())},
+        }
+
+
+class MetricsRegistry:
+    """Factory and store for labeled instruments.
+
+    ``enabled=False`` turns every factory into a no-op-instrument source,
+    letting a whole simulation opt out without touching call sites.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._instruments: dict[tuple[str, str, LabelItems], Any] = {}
+        self._collectors: list[Callable[["MetricsRegistry"], None]] = []
+
+    # -- instrument factories -----------------------------------------
+    def _get(self, cls, name: str, labels: dict) -> Any:
+        items: LabelItems = tuple(sorted(labels.items()))
+        key = (cls.kind, name, items)
+        inst = self._instruments.get(key)
+        if inst is None or type(inst) is not cls:
+            inst = cls(name, items)
+            self._instruments[key] = inst
+        return inst
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        """The counter child for ``(name, labels)`` (created on demand)."""
+        if not self.enabled:
+            return NULL  # type: ignore[return-value]
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        """The gauge child for ``(name, labels)``."""
+        if not self.enabled:
+            return NULL  # type: ignore[return-value]
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        """The histogram child for ``(name, labels)``."""
+        if not self.enabled:
+            return NULL  # type: ignore[return-value]
+        return self._get(Histogram, name, labels)
+
+    def gauge_fn(self, name: str, fn: Callable[[], float],
+                 **labels: str) -> None:
+        """Register a gauge computed by ``fn()`` at export time."""
+        if not self.enabled:
+            return
+        items: LabelItems = tuple(sorted(labels.items()))
+        self._instruments[("gauge", name, items)] = CallbackGauge(
+            name, items, fn)
+
+    def add_collector(self,
+                      fn: Callable[["MetricsRegistry"], None]) -> None:
+        """Register a callback that fills in metrics right before export
+        (for state already counted elsewhere — zero hot-path cost)."""
+        if self.enabled:
+            self._collectors.append(fn)
+
+    # -- export --------------------------------------------------------
+    def snapshot(self) -> list[dict]:
+        """All series as sorted, JSON-ready rows."""
+        for fn in self._collectors:
+            fn(self)
+        rows = []
+        for (kind, name, items), inst in self._instruments.items():
+            rows.append({"name": name, "type": kind,
+                         "labels": dict(items), **inst.row()})
+        rows.sort(key=lambda r: (r["name"], sorted(r["labels"].items())))
+        return rows
+
+    def find(self, name: str, **labels: str) -> Optional[Any]:
+        """Look up an existing instrument without creating it."""
+        items: LabelItems = tuple(sorted(labels.items()))
+        for kind in ("counter", "gauge", "histogram"):
+            inst = self._instruments.get((kind, name, items))
+            if inst is not None:
+                return inst
+        return None
+
+    def export_jsonl(self, path: str) -> str:
+        """Write one JSON object per series; returns ``path``."""
+        with open(path, "w") as fh:
+            for row in self.snapshot():
+                fh.write(json.dumps(row, sort_keys=True) + "\n")
+        return path
+
+    def export_csv(self, path: str) -> str:
+        """Write ``name,labels,type,value,count,sum`` rows."""
+        with open(path, "w") as fh:
+            fh.write("name,labels,type,value,count,sum\n")
+            for row in self.snapshot():
+                labels = ";".join(f"{k}={v}" for k, v in
+                                  sorted(row["labels"].items()))
+                value = row.get("value", "")
+                fh.write(f"{row['name']},{labels},{row['type']},"
+                         f"{value},{row.get('count', '')},"
+                         f"{row.get('sum', '')}\n")
+        return path
+
+
+def merge_rows(rows: Iterable[dict], name: str) -> float:
+    """Sum the ``value`` of every row called ``name`` (export analysis)."""
+    return sum(r.get("value", 0) for r in rows if r["name"] == name)

@@ -1,0 +1,88 @@
+"""Flight recorder: bounded per-node ring of recent events.
+
+Long churn experiments emit an unbounded stream of node events
+(connection adds/drops, link failures, fault injections).  The recorder
+keeps only the last ``capacity`` events per node in memory — the
+"what was this node doing just before it broke" view — and can *spill*
+every evicted event to a JSONL file so the complete history is still on
+disk while memory stays O(nodes × capacity).
+
+Events carry simulation time only, so a spill file from a fixed-seed run
+is byte-identical across runs.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Optional
+
+
+class FlightRecorder:
+    """Fixed-size ring of recent events per node, with optional spill."""
+
+    def __init__(self, capacity: int = 256,
+                 spill_path: Optional[str] = None):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.rings: dict[str, deque] = {}
+        self.recorded = 0
+        self.evicted = 0
+        self.spill_path = spill_path
+        self._spill = open(spill_path, "w") if spill_path else None
+
+    def record(self, t: float, node: str, category: str,
+               data: Optional[dict] = None) -> None:
+        """Append one event to ``node``'s ring, spilling any evictee."""
+        ring = self.rings.get(node)
+        if ring is None:
+            ring = self.rings[node] = deque()
+        if len(ring) >= self.capacity:
+            self.evicted += 1
+            if self._spill is not None:
+                self._write(ring.popleft())
+            else:
+                ring.popleft()
+        ring.append((t, node, category, data))
+        self.recorded += 1
+
+    def recent(self, node: str) -> list[tuple[float, str, dict]]:
+        """The node's retained events, oldest first, as
+        ``(t, category, data)``."""
+        return [(t, cat, data or {}) for t, _n, cat, data in
+                self.rings.get(node, ())]
+
+    def nodes(self) -> list[str]:
+        """Every node that has recorded at least one event."""
+        return sorted(self.rings)
+
+    # -- spill ----------------------------------------------------------
+    def _write(self, entry: tuple) -> None:
+        t, node, category, data = entry
+        row: dict[str, Any] = {"t": t, "node": node, "category": category}
+        if data:
+            row["data"] = {k: (v if isinstance(v, (int, float, str, bool,
+                                                   type(None)))
+                               else str(v)) for k, v in data.items()}
+        assert self._spill is not None
+        self._spill.write(json.dumps(row, sort_keys=True) + "\n")
+
+    def flush(self) -> None:
+        """Spill everything still held in the rings (kept in the rings
+        too) and flush the file.  Call once, at end of run: the spill
+        file then holds the complete event history in eviction order
+        followed by the retained tails, node by node."""
+        if self._spill is None:
+            return
+        for node in self.nodes():
+            for entry in self.rings[node]:
+                self._write(entry)
+        self._spill.flush()
+
+    def close(self) -> None:
+        """Flush and close the spill file (idempotent)."""
+        if self._spill is not None:
+            self.flush()
+            self._spill.close()
+            self._spill = None

@@ -1,0 +1,225 @@
+"""Causal packet tracing: trace ids, spans, and span trees.
+
+A *trace* follows one logical operation — a virtual-IP packet through the
+overlay, or a CTM handshake with its linking back-off — across every node
+it touches.  The mechanism is deliberately tiny:
+
+* the origin asks :meth:`SpanCollector.maybe_trace` for a trace id
+  (deterministic counter, per-kind sampling);
+* a mutable :class:`TraceRef` ``(trace_id, parent)`` rides on the message
+  objects (``RoutedPacket.trace``, ``LinkRequest.trace``, …).  Each
+  instrumented step records a span parented at ``ref.parent`` and then
+  advances ``ref.parent`` to its own span id, so the causal chain—
+  route hop → physical transit → next route hop — falls out of message
+  propagation with no global context table;
+* :meth:`SpanCollector.tree` (and the inspector CLI) rebuilds the nested
+  timeline from the flat span list.
+
+Untraced packets carry ``trace=None`` and cost one ``is None`` check per
+choke point.  Span/trace ids are monotonic per collector, and span times
+are simulation times, so a fixed-seed run exports byte-identical JSONL.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+
+class TraceRef:
+    """Causal context carried on in-flight messages (mutable on purpose:
+    each hop re-parents the ref at its own span)."""
+
+    __slots__ = ("trace_id", "parent")
+
+    def __init__(self, trace_id: int, parent: int):
+        self.trace_id = trace_id
+        self.parent = parent
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TraceRef t{self.trace_id} p{self.parent}>"
+
+
+class Span:
+    """One recorded operation: ``t1 is None`` while open; instant events
+    have ``t1 == t0``."""
+
+    __slots__ = ("id", "trace_id", "parent", "name", "node", "t0", "t1",
+                 "attrs")
+
+    def __init__(self, sid: int, trace_id: int, parent: Optional[int],
+                 name: str, node: str, t0: float,
+                 attrs: Optional[dict] = None):
+        self.id = sid
+        self.trace_id = trace_id
+        self.parent = parent
+        self.name = name
+        self.node = node
+        self.t0 = t0
+        self.t1: Optional[float] = None
+        self.attrs = attrs
+
+    @property
+    def duration(self) -> float:
+        """Span length in seconds (0 for still-open spans)."""
+        return (self.t1 - self.t0) if self.t1 is not None else 0.0
+
+    def to_row(self) -> dict:
+        attrs = {k: (v if isinstance(v, (int, float, str, bool, type(None)))
+                     else str(v))
+                 for k, v in (self.attrs or {}).items()}
+        return {"id": self.id, "trace": self.trace_id,
+                "parent": self.parent, "name": self.name, "node": self.node,
+                "t0": self.t0, "t1": self.t1, "attrs": attrs}
+
+
+class SpanCollector:
+    """Allocates trace ids, records spans, exports and rebuilds trees.
+
+    Parameters
+    ----------
+    enabled:
+        Master switch.  Disabled, every method is a cheap no-op and
+        ``maybe_trace`` always returns None.
+    sample:
+        Per-kind sampling period: ``{"ip": 50}`` traces every 50th
+        virtual-IP packet; 1 traces all; 0/absent traces none.  Sampling
+        is counter-based (never RNG) to keep runs deterministic.
+    max_spans:
+        Hard memory bound; spans beyond it are counted in
+        :attr:`dropped`, not stored.
+    """
+
+    def __init__(self, enabled: bool = False,
+                 sample: Optional[dict[str, int]] = None,
+                 max_spans: int = 200_000):
+        self.enabled = enabled
+        self.sample: dict[str, int] = dict(sample or {})
+        self.max_spans = max_spans
+        self.spans: list[Span] = []
+        self.dropped = 0
+        self.seen: dict[str, int] = {}     # per-kind candidate count
+        self.roots: dict[int, int] = {}    # trace id -> root span id
+        self.trace_kind: dict[int, str] = {}
+        self._next_trace = 1
+        self._next_span = 1
+
+    # -- trace allocation ----------------------------------------------
+    def maybe_trace(self, kind: str) -> Optional[int]:
+        """A fresh trace id when this ``kind`` event is sampled, else
+        None.  Counter-based: the Nth candidate of a kind is traced iff
+        ``(N - 1) % sample[kind] == 0``."""
+        if not self.enabled:
+            return None
+        period = self.sample.get(kind, 0)
+        if period <= 0:
+            return None
+        seen = self.seen.get(kind, 0)
+        self.seen[kind] = seen + 1
+        if seen % period:
+            return None
+        tid = self._next_trace
+        self._next_trace += 1
+        self.trace_kind[tid] = kind
+        return tid
+
+    # -- span recording ------------------------------------------------
+    def _record(self, span: Span) -> Span:
+        if len(self.spans) >= self.max_spans:
+            self.dropped += 1
+        else:
+            self.spans.append(span)
+        return span
+
+    def start(self, name: str, node: str, t: float, trace_id: int,
+              parent: Optional[int] = None, **attrs: Any) -> int:
+        """Open a span; returns its id (valid even when over the cap)."""
+        sid = self._next_span
+        self._next_span += 1
+        span = self._record(Span(sid, trace_id, parent, name, node, t,
+                                 attrs or None))
+        if parent is None and trace_id not in self.roots:
+            self.roots[trace_id] = sid
+        return sid
+
+    def end(self, span_id: int, t: float, **attrs: Any) -> None:
+        """Close a span (linear scan from the tail: spans close young)."""
+        for span in reversed(self.spans):
+            if span.id == span_id:
+                span.t1 = t
+                if attrs:
+                    span.attrs = {**(span.attrs or {}), **attrs}
+                return
+
+    def event(self, name: str, node: str, t: float, trace_id: int,
+              parent: Optional[int] = None, **attrs: Any) -> int:
+        """Record an instant span (t1 == t0); returns its id."""
+        sid = self.start(name, node, t, trace_id, parent, **attrs)
+        if self.spans and self.spans[-1].id == sid:
+            self.spans[-1].t1 = t
+        return sid
+
+    def end_trace(self, trace_id: int, t: float, **attrs: Any) -> None:
+        """Close (or extend) the trace's root span at ``t``."""
+        root = self.roots.get(trace_id)
+        if root is None:
+            return
+        for span in self.spans:
+            if span.id == root:
+                span.t1 = t if span.t1 is None else max(span.t1, t)
+                if attrs:
+                    span.attrs = {**(span.attrs or {}), **attrs}
+                return
+
+    # -- hop helper (the per-choke-point idiom) ------------------------
+    def hop(self, ref: Optional[TraceRef], name: str, node: str, t: float,
+            **attrs: Any) -> Optional[int]:
+        """Record an instant span under ``ref`` and re-parent the ref at
+        it.  No-op (returns None) when ``ref`` is None."""
+        if ref is None or not self.enabled:
+            return None
+        sid = self.event(name, node, t, ref.trace_id, ref.parent, **attrs)
+        ref.parent = sid
+        return sid
+
+    # -- queries / export ----------------------------------------------
+    def by_trace(self, trace_id: int) -> list[Span]:
+        """All spans of one trace, in recording (= causal) order."""
+        return [s for s in self.spans if s.trace_id == trace_id]
+
+    def tree(self, trace_id: int) -> list[tuple[int, Span]]:
+        """The trace as a depth-first (depth, span) list."""
+        return span_tree(self.by_trace(trace_id))
+
+    def trace_ids(self) -> list[int]:
+        """Every trace id with at least one recorded span."""
+        return sorted({s.trace_id for s in self.spans})
+
+    def export_jsonl(self, path: str) -> str:
+        """One JSON object per span, in recording order."""
+        with open(path, "w") as fh:
+            for span in self.spans:
+                fh.write(json.dumps(span.to_row(), sort_keys=True) + "\n")
+        return path
+
+
+def span_tree(spans: list[Span]) -> list[tuple[int, Span]]:
+    """Arrange spans of one trace depth-first as (depth, span) pairs.
+
+    Orphans (parent span sampled out or over the cap) surface at depth 0
+    so a truncated trace still renders.
+    """
+    ids = {s.id for s in spans}
+    children: dict[Optional[int], list[Span]] = {}
+    for s in spans:
+        parent = s.parent if s.parent in ids else None
+        children.setdefault(parent, []).append(s)
+    out: list[tuple[int, Span]] = []
+
+    def walk(parent: Optional[int], depth: int) -> None:
+        for s in sorted(children.get(parent, []), key=lambda s: s.id):
+            out.append((depth, s))
+            walk(s.id, depth + 1)
+
+    walk(None, 0)
+    return out

@@ -126,6 +126,13 @@ class Nat:
                                       "no_mapping": 0}
 
     # ------------------------------------------------------------------
+    def live_mappings(self) -> int:
+        """Number of currently live (non-expired) mappings — exported as
+        the ``nat.mappings_live`` gauge."""
+        return sum(1 for m in self._by_port.values()
+                   if not self._expired(m))
+
+    # ------------------------------------------------------------------
     def is_inside(self, ip: str) -> bool:
         """True when ``ip`` belongs to this NAT's private subnet."""
         return ip_in_subnet(ip, self.subnet)

@@ -44,6 +44,13 @@ class Internet:
         self.delivered = 0
         self._public_net = 0
         self._public_host = 0
+        # drop/delivery tallies surface as metrics only at export time
+        sim.obs.metrics.add_collector(self._collect_metrics)
+
+    def _collect_metrics(self, m) -> None:
+        m.gauge("phys.delivered").set(self.delivered)
+        for reason, n in self.drops.items():
+            m.gauge("phys.drops", reason=reason).set(n)
 
     # -- registration ----------------------------------------------------
     def register_host(self, host: "Host") -> None:
@@ -61,6 +68,13 @@ class Internet:
         if nat.public_ip in self.nats_by_ip:
             raise ValueError(f"duplicate NAT public IP {nat.public_ip}")
         self.nats_by_ip[nat.public_ip] = nat
+        metrics = self.sim.obs.metrics
+        metrics.gauge_fn("nat.mappings_live", nat.live_mappings,
+                         nat=nat.name)
+        metrics.add_collector(
+            lambda m, nat=nat: [
+                m.gauge("nat.drops", nat=nat.name, reason=reason).set(n)
+                for reason, n in nat.drops.items()])
 
     def add_fault_rule(self, rule) -> None:
         """Install a path-fault rule (see :mod:`repro.fault.rules`)."""
@@ -85,6 +99,10 @@ class Internet:
     def send(self, src_host: "Host", dgram: Datagram) -> None:
         """Route one datagram.  Never raises for network-level failures —
         packets silently vanish with a counted reason, like real UDP."""
+        if self.sim.obs.spans.enabled:
+            # lift the causal context off the payload message (if any) so
+            # NAT traversal and the transit span attach to the right trace
+            dgram.trace = getattr(dgram.payload, "trace", None)
         proto = dgram.proto
         for nat in src_host.nat_chain:
             if nat.is_inside(dgram.dst.ip):
@@ -161,6 +179,12 @@ class Internet:
             self._drop(dgram, "loss")
             return
         delay = self.latency.sample_delay(src_host, host)
+        if dgram.trace is not None:
+            dgram.span = self.sim.obs.spans.start(
+                "phys.tx", node=src_host.name, t=self.sim.now,
+                trace_id=dgram.trace.trace_id, parent=dgram.trace.parent,
+                dst=str(dgram.dst), size=dgram.size,
+                path=">".join(dgram.path) or "direct")
         self.sim.schedule(delay, self._deliver, host, dgram)
 
     def _deliver(self, host: "Host", dgram: Datagram) -> None:
@@ -168,11 +192,27 @@ class Internet:
             self._drop(dgram, "host-down")
             return
         self.delivered += 1
+        if dgram.span is not None:
+            self.sim.obs.spans.end(dgram.span, self.sim.now)
+            # downstream hops at the receiving node parent at the transit
+            dgram.trace.parent = dgram.span
         host.deliver(dgram)
 
     def _drop(self, dgram: Datagram, reason: str) -> None:
         self.drops[reason] += 1
-        self.sim.trace("net.drop", reason=reason, dst=str(dgram.dst))
+        sim = self.sim
+        if dgram.trace is not None:
+            sim.obs.spans.event(
+                "phys.drop", node="", t=sim.now,
+                trace_id=dgram.trace.trace_id, parent=dgram.trace.parent,
+                reason=reason, dst=str(dgram.dst),
+                path=">".join(dgram.path) or "direct")
+            if dgram.span is not None:
+                sim.obs.spans.end(dgram.span, sim.now, dropped=reason)
+        # guard before building the kwargs dict: drops are hot under
+        # churn/loss and tracing is usually off in big sweeps
+        if sim.trace_on:
+            sim.trace("net.drop", reason=reason, dst=str(dgram.dst))
 
     # -- utilities -------------------------------------------------------
     def host_for_ip(self, ip: str) -> Optional["Host"]:

@@ -20,7 +20,8 @@ HEADER_BYTES = 60
 class Datagram:
     """One simulated UDP packet."""
 
-    __slots__ = ("src", "dst", "payload", "size", "proto", "path", "orig_src")
+    __slots__ = ("src", "dst", "payload", "size", "proto", "path",
+                 "orig_src", "trace", "span")
 
     def __init__(self, src: Endpoint, dst: Endpoint, payload: Any,
                  size: Optional[int] = None, proto: str = "udp"):
@@ -32,6 +33,10 @@ class Datagram:
         # original (pre-NAT) source, for trace assertions
         self.orig_src = src
         self.path: list[str] = []
+        # causal-trace context lifted off the payload by Internet.send
+        # when span tracing is on; ``span`` is the open phys.tx span id
+        self.trace = None
+        self.span = None
 
     def hop(self, label: str) -> None:
         """Record a traversal step (NAT, core, delivery)."""

@@ -28,6 +28,7 @@ import heapq
 import math
 from typing import Any, Callable, Iterator, Optional
 
+from repro.obs.hub import Observability
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import Tracer
 
@@ -93,6 +94,13 @@ class Simulator:
         Bucket width in simulated seconds.  Coarse periodic timers (pings,
         keep-alives, overlord ticks, flow-completion estimates) land whole
         buckets ahead and so pay O(1) to schedule and O(0) to cancel.
+    trace_max_records:
+        Per-category cap on retained tracer records (None = unbounded);
+        see :class:`~repro.sim.trace.Tracer`.
+    metrics:
+        When true (default) the simulator's :class:`~repro.obs.hub.
+        Observability` hub records metrics; span tracing and the flight
+        recorder stay opt-in either way.
     """
 
     #: process-wide default for the ``timer_wheel`` parameter
@@ -104,7 +112,9 @@ class Simulator:
 
     def __init__(self, seed: int = 0, trace: bool = True,
                  timer_wheel: Optional[bool] = None,
-                 wheel_granularity: float = 1.0):
+                 wheel_granularity: float = 1.0,
+                 trace_max_records: Optional[int] = None,
+                 metrics: bool = True):
         if wheel_granularity <= 0:
             raise SimulationError("wheel_granularity must be positive")
         if timer_wheel is None:
@@ -121,7 +131,10 @@ class Simulator:
         #: that coalesce work until the end of the current event)
         self.executing = False
         self.rng = RngRegistry(seed)
-        self.tracer = Tracer(enabled=trace)
+        self.tracer = Tracer(enabled=trace, max_records=trace_max_records)
+        #: metrics registry + span collector + flight recorder (see
+        #: :mod:`repro.obs`); metrics default on, spans/recorder opt-in
+        self.obs = Observability(self, metrics=metrics)
         # -- hybrid queue state -----------------------------------------
         self._use_wheel = timer_wheel
         self._gran = wheel_granularity
@@ -265,6 +278,15 @@ class Simulator:
     # ------------------------------------------------------------------
     # conveniences
     # ------------------------------------------------------------------
+    @property
+    def trace_on(self) -> bool:
+        """True when :meth:`trace` will store records.  Hot call sites
+        guard on this *before* building their kwargs dict, making a
+        disabled-tracing run allocation-free (record counts are then
+        skipped too — durable tallies live in subsystem counters like
+        ``Internet.drops`` and ``node.stats``)."""
+        return self.tracer.enabled
+
     def trace(self, category: str, **data: Any) -> None:
         """Record a trace entry stamped with the current time."""
         self.tracer.record(self.now, category, data)

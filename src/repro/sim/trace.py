@@ -8,6 +8,7 @@ summary statistics used across EXPERIMENTS.md.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections import Counter, defaultdict
 from typing import Callable, Iterable, Optional
 
@@ -50,11 +51,16 @@ class TimeSeries:
         return float(np.percentile(self.values, q)) if self.values else float("nan")
 
     def window(self, t0: float, t1: float) -> "TimeSeries":
-        """Sub-series with t0 <= t < t1."""
+        """Sub-series with t0 <= t < t1.
+
+        Times are appended in nondecreasing order everywhere in the repo,
+        so the window is found by bisection and sliced — O(log n + k)
+        instead of a full scan per call."""
         out = TimeSeries(f"{self.name}[{t0},{t1})")
-        for t, v in zip(self.times, self.values):
-            if t0 <= t < t1:
-                out.add(t, v)
+        i0 = bisect_left(self.times, t0)
+        i1 = bisect_left(self.times, t1, i0)
+        out.times = self.times[i0:i1]
+        out.values = self.values[i0:i1]
         return out
 
 
@@ -63,10 +69,20 @@ class Tracer:
 
     A record is ``(time, dict)``.  Disable tracing for large sweeps by
     constructing with ``enabled=False``; ``record`` then becomes a no-op.
+
+    ``max_records`` bounds the retained records *per category* (oldest
+    evicted first) so long sweeps cannot grow memory without bound —
+    :attr:`counters` stay exact regardless of eviction.  Eviction is
+    amortized: a category's list may transiently hold up to twice the cap
+    and is trimmed in bulk; :meth:`get` always returns at most the cap.
     """
 
-    def __init__(self, enabled: bool = True):
+    def __init__(self, enabled: bool = True,
+                 max_records: Optional[int] = None):
+        if max_records is not None and max_records <= 0:
+            raise ValueError("max_records must be positive or None")
         self.enabled = enabled
+        self.max_records = max_records
         self.records: dict[str, list[tuple[float, dict]]] = defaultdict(list)
         self.counters: Counter = Counter()
 
@@ -74,15 +90,24 @@ class Tracer:
         """Count (and, when enabled, store) one event record."""
         self.counters[category] += 1
         if self.enabled:
-            self.records[category].append((t, data or {}))
+            records = self.records[category]
+            records.append((t, data or {}))
+            cap = self.max_records
+            if cap is not None and len(records) > 2 * cap:
+                del records[:len(records) - cap]
 
     def count(self, category: str) -> int:
         """How many records of ``category`` were ever recorded."""
         return self.counters[category]
 
     def get(self, category: str) -> list[tuple[float, dict]]:
-        """Stored (time, data) records of ``category``."""
-        return self.records.get(category, [])
+        """Stored (time, data) records of ``category`` (the newest
+        ``max_records`` of them when a cap is set)."""
+        records = self.records.get(category, [])
+        cap = self.max_records
+        if cap is not None and len(records) > cap:
+            return records[-cap:]
+        return records
 
     def series(self, category: str, key: str,
                where: Optional[Callable[[dict], bool]] = None) -> TimeSeries:

@@ -1,0 +1,102 @@
+"""End-to-end: observed churn run → export bundle → inspector CLI.
+
+One small fixed-seed churn run (module-scoped) backs every test here; a
+second identical run checks the byte-identical-export guarantee.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import churn_recovery
+from repro.obs import inspect as inspect_cli
+
+RUN_KW = dict(seed=3, n_nodes=10, kill_fraction=0.2,
+              settle=200.0, horizon=300.0)
+
+
+@pytest.fixture(scope="module")
+def run_dir(tmp_path_factory):
+    out = str(tmp_path_factory.mktemp("obs") / "run")
+    churn_recovery.run(obs_dir=out, **RUN_KW)
+    return out
+
+
+def test_export_layout(run_dir):
+    for name in ("metrics.jsonl", "metrics.csv", "spans.jsonl",
+                 "events.jsonl", "manifest.json"):
+        assert os.path.exists(os.path.join(run_dir, name)), name
+    manifest = json.load(open(os.path.join(run_dir, "manifest.json")))
+    assert manifest["seed"] == RUN_KW["seed"]
+    assert manifest["traces"], "no traces recorded"
+    kinds = {t["kind"] for t in manifest["traces"]}
+    assert {"ip", "ctm"} <= kinds
+
+
+def test_export_is_byte_identical_across_runs(run_dir, tmp_path):
+    again = str(tmp_path / "again")
+    churn_recovery.run(obs_dir=again, **RUN_KW)
+    for name in ("metrics.jsonl", "metrics.csv", "spans.jsonl",
+                 "events.jsonl", "manifest.json"):
+        a = open(os.path.join(run_dir, name), "rb").read()
+        b = open(os.path.join(again, name), "rb").read()
+        assert a == b, f"{name} differs between identical-seed runs"
+
+
+def test_metrics_cover_the_advertised_namespaces(run_dir):
+    rows = inspect_cli.load_metrics(run_dir)
+    names = {r["name"] for r in rows}
+    for expected in ("brunet.route.hops", "brunet.route.delivered",
+                     "linking.attempts", "linking.successes",
+                     "ipop.encap_bytes", "ipop.decap_packets",
+                     "fault.injected", "phys.delivered",
+                     "sim.events_processed", "overlord.announces"):
+        assert expected in names, expected
+    fault = [r for r in rows if r["name"] == "fault.injected"]
+    assert sum(r["value"] for r in fault) >= 1
+    assert any(r["labels"].get("kind") == "node.crash" for r in fault)
+
+
+def test_ip_trace_tree_is_multi_hop(run_dir, capsys):
+    manifest = inspect_cli.load_manifest(run_dir)
+    ip = [t for t in manifest["traces"] if t["kind"] == "ip"]
+    assert ip, "no traced virtual-IP packet"
+    tid = max(ip, key=lambda t: t["spans"])["trace"]
+    assert inspect_cli.main([run_dir, "--trace", str(tid)]) == 0
+    out = capsys.readouterr().out
+    assert "ip.packet" in out
+    assert out.count("route.hop") >= 2, "expected a multi-hop timeline"
+    assert "phys.tx" in out
+    assert "route.deliver" in out
+
+
+def test_ctm_trace_tree_shows_handshake(run_dir, capsys):
+    manifest = inspect_cli.load_manifest(run_dir)
+    ctm = [t for t in manifest["traces"] if t["kind"] == "ctm"]
+    assert ctm, "no traced CTM handshake"
+    tid = max(ctm, key=lambda t: t["spans"])["trace"]
+    assert inspect_cli.main([run_dir, "--trace", str(tid)]) == 0
+    out = capsys.readouterr().out
+    assert "ctm.handshake" in out
+    assert "route.hop" in out
+    assert "link.attempt" in out
+    assert "link.send" in out
+
+
+def test_inspector_summary_views(run_dir, capsys):
+    assert inspect_cli.main([run_dir]) == 0
+    out = capsys.readouterr().out
+    assert "node health" in out
+    assert "connection census" in out
+    assert "slowest routes" in out
+    assert "traces" in out
+
+
+def test_inspector_unknown_trace_fails(run_dir, capsys):
+    assert inspect_cli.main([run_dir, "--trace", "999999"]) == 1
+    assert "not found" in capsys.readouterr().out
+
+
+def test_inspector_bad_dir(tmp_path, capsys):
+    assert inspect_cli.main([str(tmp_path / "nope")]) == 2

@@ -1,0 +1,66 @@
+"""FlightRecorder: ring eviction, spill file, counters."""
+
+import json
+
+import pytest
+
+from repro.obs.recorder import FlightRecorder
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        FlightRecorder(capacity=0)
+
+
+def test_ring_keeps_newest_per_node():
+    rec = FlightRecorder(capacity=3)
+    for i in range(5):
+        rec.record(float(i), "a", "evt", {"i": i})
+    rec.record(0.0, "b", "evt", {"i": 99})
+    assert [d["i"] for _t, _c, d in rec.recent("a")] == [2, 3, 4]
+    assert [d["i"] for _t, _c, d in rec.recent("b")] == [99]
+    assert rec.recent("missing") == []
+    assert rec.nodes() == ["a", "b"]
+    assert rec.recorded == 6
+    assert rec.evicted == 2
+
+
+def test_recent_shape():
+    rec = FlightRecorder(capacity=4)
+    rec.record(1.5, "n", "conn.add", {"peer": "x"})
+    rec.record(2.0, "n", "conn.drop", None)
+    assert rec.recent("n") == [(1.5, "conn.add", {"peer": "x"}),
+                               (2.0, "conn.drop", {})]
+
+
+def test_spill_holds_complete_history(tmp_path):
+    path = str(tmp_path / "events.jsonl")
+    rec = FlightRecorder(capacity=2, spill_path=path)
+    for i in range(5):
+        rec.record(float(i), "a", "evt", {"i": i})
+    rec.close()
+    rows = [json.loads(line) for line in open(path)]
+    # 3 evictions in order, then the retained tail
+    assert [r["data"]["i"] for r in rows] == [0, 1, 2, 3, 4]
+    assert all(r["node"] == "a" and r["category"] == "evt" for r in rows)
+    # close() is idempotent
+    rec.close()
+
+
+def test_spill_stringifies_exotic_values(tmp_path):
+    path = str(tmp_path / "events.jsonl")
+    rec = FlightRecorder(capacity=1, spill_path=path)
+    rec.record(0.0, "n", "evt", {"obj": object()})
+    rec.record(1.0, "n", "evt", {"i": 1})  # evicts the first
+    rec.close()
+    rows = [json.loads(line) for line in open(path)]
+    assert isinstance(rows[0]["data"]["obj"], str)
+
+
+def test_no_spill_just_drops(tmp_path):
+    rec = FlightRecorder(capacity=1)
+    rec.record(0.0, "n", "evt", {"i": 0})
+    rec.record(1.0, "n", "evt", {"i": 1})
+    assert rec.evicted == 1
+    rec.flush()  # no-op without a spill file
+    rec.close()

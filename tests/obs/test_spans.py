@@ -1,0 +1,101 @@
+"""SpanCollector: sampling, hop re-parenting, trees, caps."""
+
+from repro.obs.spans import Span, SpanCollector, TraceRef, span_tree
+
+
+def test_disabled_collector_is_inert():
+    sc = SpanCollector(enabled=False)
+    assert sc.maybe_trace("ip") is None
+    ref = TraceRef(1, 0)
+    assert sc.hop(ref, "route.hop", "n", 0.0) is None
+    assert ref.parent == 0  # untouched
+    assert sc.spans == []
+
+
+def test_counter_based_sampling():
+    sc = SpanCollector(enabled=True, sample={"ip": 3, "ctm": 1})
+    ip = [sc.maybe_trace("ip") for _ in range(7)]
+    # 1st, 4th and 7th candidates sampled; ids interleave with ctm's
+    assert [t is not None for t in ip] == [True, False, False, True,
+                                           False, False, True]
+    assert sc.maybe_trace("ctm") is not None
+    assert sc.maybe_trace("unknown-kind") is None
+    ids = [t for t in ip if t is not None]
+    assert ids == sorted(ids)  # monotonic allocation
+
+
+def test_hop_chain_reparents_ref():
+    sc = SpanCollector(enabled=True, sample={"ip": 1})
+    tid = sc.maybe_trace("ip")
+    root = sc.start("ip.packet", "n0", 0.0, tid, src="a", dst="b")
+    ref = TraceRef(tid, root)
+    h1 = sc.hop(ref, "route.hop", "n0", 0.0, hops=0)
+    assert ref.parent == h1
+    h2 = sc.hop(ref, "route.hop", "n1", 0.1, hops=1)
+    assert ref.parent == h2
+    sc.end_trace(tid, 0.2, hops=2)
+    tree = sc.tree(tid)
+    assert [(d, s.name) for d, s in tree] == [
+        (0, "ip.packet"), (1, "route.hop"), (2, "route.hop")]
+    root_span = tree[0][1]
+    assert root_span.t1 == 0.2
+    assert root_span.attrs["hops"] == 2
+    assert root_span.duration == 0.2
+
+
+def test_end_trace_extends_not_shrinks():
+    sc = SpanCollector(enabled=True, sample={"ctm": 1})
+    tid = sc.maybe_trace("ctm")
+    sc.start("ctm.handshake", "n", 0.0, tid)
+    sc.end_trace(tid, 5.0)
+    sc.end_trace(tid, 3.0)  # an earlier finisher must not shrink the trace
+    assert sc.by_trace(tid)[0].t1 == 5.0
+
+
+def test_event_is_instant():
+    sc = SpanCollector(enabled=True)
+    sid = sc.event("phys.drop", "", 1.5, trace_id=9, reason="loss")
+    span = sc.spans[-1]
+    assert span.id == sid and span.t0 == span.t1 == 1.5
+    assert span.attrs["reason"] == "loss"
+
+
+def test_max_spans_cap_counts_dropped():
+    sc = SpanCollector(enabled=True, max_spans=3)
+    for i in range(5):
+        sc.event(f"e{i}", "n", float(i), trace_id=1)
+    assert len(sc.spans) == 3
+    assert sc.dropped == 2
+    # ending a dropped span is a silent no-op
+    sc.end(99, 9.0)
+
+
+def test_span_tree_orphans_surface_at_root():
+    spans = [Span(10, 1, None, "root", "n", 0.0),
+             Span(11, 1, 10, "child", "n", 0.1),
+             Span(12, 1, 999, "orphan", "n", 0.2)]  # parent was sampled out
+    tree = span_tree(spans)
+    assert [(d, s.name) for d, s in tree] == [
+        (0, "orphan"), (0, "root"), (1, "child")] or \
+        [(d, s.name) for d, s in tree] == [
+        (0, "root"), (1, "child"), (0, "orphan")]
+
+
+def test_to_row_stringifies_exotic_attrs():
+    span = Span(1, 2, None, "x", "n", 0.0, attrs={"obj": object(), "n": 3})
+    row = span.to_row()
+    assert isinstance(row["attrs"]["obj"], str)
+    assert row["attrs"]["n"] == 3
+
+
+def test_export_jsonl_roundtrip(tmp_path):
+    sc = SpanCollector(enabled=True, sample={"ip": 1})
+    tid = sc.maybe_trace("ip")
+    root = sc.start("ip.packet", "n", 0.0, tid)
+    sc.end(root, 1.0)
+    path = sc.export_jsonl(str(tmp_path / "spans.jsonl"))
+    lines = open(path).read().splitlines()
+    assert len(lines) == 1
+    assert '"name": "ip.packet"' in lines[0]
+    assert open(path, "rb").read() == open(
+        sc.export_jsonl(str(tmp_path / "again.jsonl")), "rb").read()

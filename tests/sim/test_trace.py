@@ -1,6 +1,7 @@
 """Tracer and TimeSeries."""
 
 import math
+import time
 
 import numpy as np
 import pytest
@@ -81,3 +82,61 @@ def test_tracer_clear():
     tr.clear()
     assert tr.count("a") == 0
     assert tr.get("a") == []
+
+
+def test_tracer_max_records_keeps_newest_and_exact_counts():
+    tr = Tracer(max_records=10)
+    for i in range(35):
+        tr.record(float(i), "evt", {"i": i})
+    tr.record(0.0, "other")
+    # counters stay exact even though storage is capped
+    assert tr.count("evt") == 35
+    got = tr.get("evt")
+    assert len(got) == 10
+    assert [d["i"] for _t, d in got] == list(range(25, 35))
+    # other categories keep their own (uncapped-within-cap) records
+    assert len(tr.get("other")) == 1
+
+
+def test_tracer_max_records_under_cap_is_untouched():
+    tr = Tracer(max_records=100)
+    for i in range(5):
+        tr.record(float(i), "evt", {"i": i})
+    assert [d["i"] for _t, d in tr.get("evt")] == [0, 1, 2, 3, 4]
+
+
+def test_tracer_max_records_validation():
+    with pytest.raises(ValueError):
+        Tracer(max_records=0)
+    with pytest.raises(ValueError):
+        Tracer(max_records=-5)
+
+
+def test_timeseries_window_bisect_regression():
+    """Windowing a 100k-sample series must be fast (bisect, not a scan)
+    and byte-identical to the naive linear-scan implementation."""
+    n = 100_000
+    ts = TimeSeries("big")
+    for i in range(n):
+        ts.add(i * 0.001, float(i % 97))
+
+    def naive(t0, t1):
+        pairs = [(t, v) for t, v in zip(ts.times, ts.values)
+                 if t0 <= t < t1]
+        return [t for t, _ in pairs], [v for _, v in pairs]
+
+    windows = [(0.0, 0.05), (12.3, 12.4), (50.0, 51.0),
+               (99.9, 1e9), (120.0, 130.0), (-5.0, 0.0)]
+    for t0, t1 in windows:
+        w = ts.window(t0, t1)
+        nt, nv = naive(t0, t1)
+        assert list(w.times) == nt
+        assert list(w.values) == nv
+
+    wall = time.perf_counter()
+    for i in range(1000):
+        ts.window(float(i % 90), float(i % 90) + 0.5)
+    wall = time.perf_counter() - wall
+    # a linear scan would take O(n) per call (~tens of seconds for 1000
+    # calls); bisect + slice of ~500 elements stays well under a second
+    assert wall < 2.0, f"window() too slow: {wall:.2f}s for 1000 calls"
