@@ -126,6 +126,56 @@ def bench_flow_churn() -> float:
     return n / (time.perf_counter() - t0)
 
 
+def _wire_sample_messages():
+    """A representative mix of frames (the codec-mode hot path)."""
+    from repro.brunet.address import BrunetAddress
+    from repro.brunet.messages import (
+        CtmRequest,
+        IpEncap,
+        LinkRequest,
+        PingRequest,
+        RoutedPacket,
+    )
+    from repro.brunet.uri import Uri
+    from repro.ipop.ippacket import IcmpEcho, VirtualIpPacket
+
+    addr = BrunetAddress(123456789)
+    uris = [Uri.udp("10.0.0.2", 14001), Uri.udp("150.1.0.3", 40001)]
+    vip = VirtualIpPacket("10.128.0.2", "10.128.0.3", "icmp", 0,
+                          IcmpEcho(7, False, 12.5), 84)
+    return [
+        PingRequest(42, addr),
+        LinkRequest(43, addr, uris, "structured.near"),
+        RoutedPacket(src=addr, dest=BrunetAddress(987654321),
+                     payload=CtmRequest(44, addr, uris, "structured.near"),
+                     size=320, exact=False, via=[addr]),
+        RoutedPacket(src=addr, dest=BrunetAddress(987654321),
+                     payload=IpEncap(vip, 84), size=84, exact=True),
+    ]
+
+
+def bench_wire_encode() -> float:
+    """Wire-codec serialization throughput (messages/s)."""
+    from repro.wire import encode
+    msgs = _wire_sample_messages()
+    n = 20_000
+    t0 = time.perf_counter()
+    for i in range(n):
+        encode(msgs[i & 3])
+    return n / (time.perf_counter() - t0)
+
+
+def bench_wire_decode() -> float:
+    """Wire-codec parse throughput (messages/s)."""
+    from repro.wire import decode, encode
+    bufs = [encode(m) for m in _wire_sample_messages()]
+    n = 20_000
+    t0 = time.perf_counter()
+    for i in range(n):
+        decode(bufs[i & 3])
+    return n / (time.perf_counter() - t0)
+
+
 def bench_scaling(n_nodes: int) -> float:
     from repro.experiments import scaling
     t0 = time.perf_counter()
@@ -157,6 +207,8 @@ def run_benches(smoke: bool) -> dict:
         "event_churn_ops_per_s": bench_event_churn(),
         "next_hop_ops_per_s": bench_next_hop(),
         "flow_churn_ops_per_s": bench_flow_churn(),
+        "wire_encode_ops_per_s": bench_wire_encode(),
+        "wire_decode_ops_per_s": bench_wire_decode(),
     }
     experiments = {"scaling_64_s": bench_scaling(64)}
     if not smoke:

@@ -67,6 +67,15 @@ class BrunetConfig:
     size_ping: int = 96
     size_routed_header: int = 48
 
+    #: how messages cross the (simulated) wire — see
+    #: :class:`repro.transport.sim.SimTransport`:
+    #: ``"reference"`` charges the paper-constant sizes above (default,
+    #: byte-identical to the pre-codec simulator); ``"measured"`` charges
+    #: the encoded length from :mod:`repro.wire` plus real UDP/IP headers;
+    #: ``"codec"`` additionally moves actual encoded bytes and decodes on
+    #: delivery (full sim-vs-live equivalence)
+    wire_mode: str = "reference"
+
     #: overlay-packet TTL (max greedy hops)
     ttl: int = 32
 

@@ -29,7 +29,6 @@ from repro.brunet.messages import (
     LinkError,
     LinkReply,
     LinkRequest,
-    next_token,
 )
 from repro.brunet.uri import Uri
 from repro.obs.spans import TraceRef
@@ -128,7 +127,7 @@ class Linker:
             if on_fail is not None:
                 on_fail()
             return None
-        attempt = LinkAttempt(next_token(), target_addr, list(uris),
+        attempt = LinkAttempt(node.next_token(), target_addr, list(uris),
                               conn_type, node.sim.now,
                               node.config.link_resend_interval)
         self._m_attempts.inc()

@@ -2,9 +2,11 @@
 
 Messages travel either *directly* over UDP (link handshake, pings) or
 wrapped in a :class:`RoutedPacket` and forwarded greedily over overlay
-connections (CTM requests/replies, tunnelled IP).  We keep message
-*semantics*, not Brunet's wire encoding; ``size`` accounting uses the
-constants in :class:`~repro.brunet.config.BrunetConfig`.
+connections (CTM requests/replies, tunnelled IP).  Every type here has a
+deterministic binary encoding in :mod:`repro.wire`; ``size`` accounting
+uses either the paper constants in
+:class:`~repro.brunet.config.BrunetConfig` (``wire_mode="reference"``) or
+the measured encoded length (``"measured"``/``"codec"``).
 """
 
 from __future__ import annotations
@@ -21,7 +23,14 @@ _token_counter = itertools.count(1)
 
 
 def next_token() -> int:
-    """Monotonic token for matching requests with replies."""
+    """Monotonic token for matching requests with replies.
+
+    .. deprecated::
+        This counter is module-global, so a second same-seed run in the
+        same process draws different tokens than the first.  Protocol code
+        now uses the per-node ``BrunetNode.next_token()`` instead; this
+        stays only for tests/tools that need a throwaway token.
+    """
     return next(_token_counter)
 
 

@@ -28,7 +28,6 @@ from repro.brunet.messages import (
     PingReply,
     PingRequest,
     RoutedPacket,
-    next_token,
 )
 from repro.brunet.routing import next_hop
 from repro.brunet.table import ConnectionTable
@@ -39,23 +38,47 @@ from repro.phys.endpoints import Endpoint
 if TYPE_CHECKING:  # pragma: no cover
     from repro.phys.host import Host
     from repro.sim.engine import Simulator
+    from repro.transport.base import Transport
 
 
 class BrunetNode:
-    """A Brunet P2P router bound to one UDP port on a host."""
+    """A Brunet P2P router bound to one datagram transport.
 
-    def __init__(self, sim: "Simulator", host: "Host", addr: BrunetAddress,
+    ``host``/``port`` describe the classic sim-backed case (a
+    :class:`~repro.transport.sim.SimTransport` is built lazily in
+    :meth:`start`).  Passing ``transport`` instead injects any
+    :class:`~repro.transport.base.Transport` — e.g. a bound
+    :class:`~repro.transport.udp.UdpTransport` — and the identical node
+    logic runs over it; ``sim`` may then be a
+    :class:`~repro.transport.runtime.RealtimeKernel`.
+    """
+
+    def __init__(self, sim: "Simulator", host: Optional["Host"],
+                 addr: BrunetAddress,
                  config: Optional[BrunetConfig] = None,
-                 port: Optional[int] = None, name: str = ""):
+                 port: Optional[int] = None, name: str = "",
+                 transport: Optional["Transport"] = None):
         self.sim = sim
         self.host = host
         self.addr = addr
         self.config = config or DEFAULT_CONFIG
-        self.name = name or f"bn.{host.name}"
         self.active = False
-        self.port = port if port is not None else self.config.default_port
-        self.sock = None
-        self.uris: UriSet = UriSet(Uri.udp(host.ip, self.port))
+        self.transport = transport
+        if transport is not None:
+            ep = transport.local_endpoint
+            self.name = name or f"bn.{ep.ip}:{ep.port}"
+            self.port = ep.port
+            self.uris: UriSet = UriSet(Uri.udp(ep.ip, ep.port))
+        else:
+            if host is None:
+                raise ValueError("BrunetNode needs a host or a transport")
+            self.name = name or f"bn.{host.name}"
+            self.port = port if port is not None else self.config.default_port
+            self.uris = UriSet(Uri.udp(host.ip, self.port))
+        #: per-node monotonically increasing protocol token (CTM, linking,
+        #: pings) — per-node rather than process-global so that two
+        #: same-seed runs in one process emit identical token sequences
+        self._token_next = 1
         self.table = ConnectionTable(addr)
         self.linker = Linker(self)
         self.peer_uris: dict[BrunetAddress, list[Uri]] = {}
@@ -89,7 +112,7 @@ class BrunetNode:
     # lifecycle
     # ------------------------------------------------------------------
     def start(self, bootstrap_uris: list[Uri]) -> None:
-        """Bind the socket and begin joining via the bootstrap URIs."""
+        """Open the transport and begin joining via the bootstrap URIs."""
         from repro.brunet.overlords import (
             FarConnectionOverlord,
             LeafConnectionOverlord,
@@ -98,10 +121,17 @@ class BrunetNode:
         )
         if self.active:
             raise RuntimeError(f"{self.name} already started")
-        if self.port in self.host.sockets:
-            self.port = self.host.ephemeral_port()
-            self.uris = UriSet(Uri.udp(self.host.ip, self.port))
-        self.sock = self.host.bind_udp(self.port, self._on_datagram)
+        if self.transport is None:
+            from repro.transport.sim import SimTransport
+            self.transport = SimTransport(self.sim, self.host, self.port,
+                                          wire_mode=self.config.wire_mode,
+                                          name=self.name)
+        ep = self.transport.open(self._on_datagram)
+        if ep != self.uris.local.endpoint:
+            # ephemeral-port fallback rebinds elsewhere: the old local URI
+            # is dead, so re-anchor the advertised set on the live endpoint
+            self.port = ep.port
+            self.uris = UriSet(Uri.udp(ep.ip, ep.port))
         self.active = True
         self.started_at = self.sim.now
         self.bootstrap_uris = [u for u in bootstrap_uris
@@ -130,14 +160,29 @@ class BrunetNode:
         self.linker.cancel_all()
         if self._ping_timer is not None:
             self._ping_timer.cancel()
-        if self.sock is not None:
-            self.sock.close()
+        if self.transport is not None:
+            self.transport.close()
         self.table.clear()
         self.trace("node.stop")
 
     # ------------------------------------------------------------------
     # address-space helpers
     # ------------------------------------------------------------------
+    @property
+    def sock(self):
+        """The underlying receive endpoint (``UdpSocket`` for a sim
+        transport, the transport itself for live ones); kept for tests and
+        tooling that read ``node.sock.received``-style counters."""
+        if self.transport is None:
+            return None
+        return getattr(self.transport, "sock", self.transport)
+
+    def next_token(self) -> int:
+        """The node's next protocol token (monotone, per-node)."""
+        token = self._token_next
+        self._token_next += 1
+        return token
+
     @property
     def in_ring(self) -> bool:
         """True once the node holds at least one structured-near link."""
@@ -152,9 +197,11 @@ class BrunetNode:
     # sending
     # ------------------------------------------------------------------
     def send_direct(self, dst: Endpoint, msg: Any, size: int) -> None:
-        """One UDP datagram straight to a physical endpoint."""
-        if self.sock is not None and self.active:
-            self.sock.send(dst, msg, size=size)
+        """One datagram straight to a physical endpoint.  ``size`` is the
+        paper-constant byte charge; measured/codec transports substitute
+        the encoded length."""
+        if self.transport is not None and self.active:
+            self.transport.send(dst, msg, size_hint=size)
 
     def send_over(self, conn: Connection, pkt: RoutedPacket) -> None:
         if pkt.trace is not None:
@@ -197,7 +244,7 @@ class BrunetNode:
             # repair announce routes over structured links and replies
             # come straight back over the ring — self-healing must not
             # depend on the bootstrap overlay staying alive
-        msg = CtmRequest(next_token(), self.addr, self.uris.advertised(),
+        msg = CtmRequest(self.next_token(), self.addr, self.uris.advertised(),
                          conn_type.value, reply_via=reply_via, fanout=fanout)
         ref = None
         spans = self.sim.obs.spans
@@ -410,7 +457,7 @@ class BrunetNode:
                 self.drop_connection(conn, reason="liveness-timeout")
                 continue
             if now - conn.last_heard >= cfg.ping_interval:
-                req = PingRequest(next_token(), self.addr)
+                req = PingRequest(self.next_token(), self.addr)
                 conn.unanswered_pings += 1
                 self.send_direct(conn.remote_endpoint, req, cfg.size_ping)
         self._ping_timer = self.sim.schedule(cfg.ping_interval / 2,

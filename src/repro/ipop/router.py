@@ -59,11 +59,24 @@ class IpopRouter:
         """Remove a guest handler (idempotent)."""
         self._handlers.pop((proto, port), None)
 
+    def virtual_header(self, proto: str) -> int:
+        """Header bytes charged on the *virtual* wire for one packet.
+
+        Reference mode charges IP+UDP (28 B) on everything — the
+        historical behaviour, kept for golden determinism.  Measured
+        modes fix a double count: VTCP segments already include their
+        TCP/IP header bytes in ``Segment.size`` (40 B), so charging an
+        IP+UDP header on top counted the IP header twice.
+        """
+        if self.node.config.wire_mode == "reference":
+            return IP_HEADER
+        return 0 if proto == "tcp" else IP_HEADER
+
     def send_ip(self, dst_ip: str, proto: str, port: int, payload: Any,
                 size: int) -> None:
         """Send one virtual-IP packet (fire and forget, like real IP)."""
         pkt = VirtualIpPacket(self.virtual_ip, dst_ip, proto, port, payload,
-                              size + IP_HEADER)
+                              size + self.virtual_header(proto))
         self._transmit(pkt)
 
     def _transmit(self, pkt: VirtualIpPacket) -> None:

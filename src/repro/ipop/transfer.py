@@ -46,14 +46,22 @@ class OverlayTransfer:
         self.cancelled = False
         self._last_path_ids: Optional[tuple] = None
         self._hop_count: Optional[int] = None
-        self.flow = Flow(broker.flows, name, size, [], rate_cap=rate_cap,
-                         on_complete=self._flow_done)
+        node = broker.resolve(src_addr)
+        # historically the flow moved exactly ``size`` payload bytes with
+        # no encapsulation framing at all; measured wire modes charge the
+        # per-MTU-packet overlay+UDP/IP overhead so bulk rates reflect
+        # what actually crosses the wire
+        self.wire_size = float(size)
+        if node is not None and node.config.wire_mode != "reference":
+            from repro.wire import encap_overhead
+            self.wire_size = size * (1.0 + encap_overhead() / MTU)
+        self.flow = Flow(broker.flows, name, self.wire_size, [],
+                         rate_cap=rate_cap, on_complete=self._flow_done)
         self.flow.pause()
         self._repath()
         # traffic inspection sees every tunnelled packet of this transfer;
         # feed the whole burst up front so short messages (PVM tasks, RPC
         # payloads) count toward shortcut scores just like long streams
-        node = broker.resolve(src_addr)
         if node is not None and node.active:
             node.inspect_traffic(dst_addr, max(1, int(size / MTU)))
         self._tick_timer = self.sim.schedule(REPATH_INTERVAL, self._tick)

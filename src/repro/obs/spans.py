@@ -36,6 +36,16 @@ class TraceRef:
         self.trace_id = trace_id
         self.parent = parent
 
+    def __eq__(self, other: object) -> bool:
+        # value equality by id pair: a ref decoded from the wire compares
+        # equal to the ref it was encoded from (repro.wire round-trips)
+        return (isinstance(other, TraceRef)
+                and self.trace_id == other.trace_id
+                and self.parent == other.parent)
+
+    def __hash__(self) -> int:
+        return hash((self.trace_id, self.parent))
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<TraceRef t{self.trace_id} p{self.parent}>"
 

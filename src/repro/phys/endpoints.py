@@ -19,6 +19,14 @@ class Endpoint(NamedTuple):
     def __str__(self) -> str:
         return f"{self.ip}:{self.port}"
 
+    @classmethod
+    def parse(cls, text: str) -> "Endpoint":
+        """Inverse of ``str()``: ``Endpoint.parse("10.0.0.2:14001")``."""
+        ip, _, port = text.rpartition(":")
+        if not ip or not port.isdigit():
+            raise ValueError(f"not an ip:port endpoint: {text!r}")
+        return cls(ip, int(port))
+
 
 def ip_in_subnet(ip: str, subnet_prefix: str) -> bool:
     """True when ``ip`` belongs to the dotted-prefix ``subnet_prefix``.

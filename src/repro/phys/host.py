@@ -30,7 +30,10 @@ if TYPE_CHECKING:  # pragma: no cover
 class UdpSocket:
     """A bound UDP port on a host.
 
-    ``handler(payload, src_endpoint, size)`` is invoked on delivery.
+    ``handler(payload, src_endpoint, size)`` is invoked on delivery.  A
+    transport that needs the full :class:`Datagram` (e.g. to recover the
+    post-transit trace context around an encoded payload) may set
+    :attr:`dgram_handler`, which then takes precedence.
     """
 
     def __init__(self, host: "Host", port: int,
@@ -38,6 +41,8 @@ class UdpSocket:
         self.host = host
         self.port = port
         self.handler = handler
+        #: optional richer delivery hook: ``dgram_handler(dgram)``
+        self.dgram_handler: Optional[Callable[[Datagram], None]] = None
         self.closed = False
         self.sent = 0
         self.received = 0
@@ -47,12 +52,22 @@ class UdpSocket:
         """The socket's (ip, port)."""
         return Endpoint(self.host.ip, self.port)
 
-    def send(self, dst: Endpoint, payload: Any, size: int = 0) -> None:
-        """Fire-and-forget datagram send."""
+    def send(self, dst: Endpoint, payload: Any, size: int = 0,
+             header: Optional[int] = None, trace: Any = None) -> None:
+        """Fire-and-forget datagram send.
+
+        ``header`` overrides the fixed framing charge (see
+        :class:`~repro.phys.packet.Datagram`); ``trace`` attaches causal
+        context explicitly when ``payload`` is encoded bytes and the
+        context can no longer be lifted off it by attribute.
+        """
         if self.closed:
             raise RuntimeError(f"socket {self.endpoint} is closed")
         self.sent += 1
-        dgram = Datagram(self.endpoint, dst, payload, size=size)
+        dgram = Datagram(self.endpoint, dst, payload, size=size,
+                         header=header)
+        if trace is not None:
+            dgram.trace = trace
         self.host.internet.send(self.host, dgram)
 
     def deliver(self, dgram: Datagram) -> None:
@@ -60,7 +75,10 @@ class UdpSocket:
         if self.closed:
             return
         self.received += 1
-        self.handler(dgram.payload, dgram.src, dgram.size)
+        if self.dgram_handler is not None:
+            self.dgram_handler(dgram)
+        else:
+            self.handler(dgram.payload, dgram.src, dgram.size)
 
     def close(self) -> None:
         """Unbind the port; further sends raise, deliveries are dropped."""

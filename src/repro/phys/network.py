@@ -99,9 +99,11 @@ class Internet:
     def send(self, src_host: "Host", dgram: Datagram) -> None:
         """Route one datagram.  Never raises for network-level failures —
         packets silently vanish with a counted reason, like real UDP."""
-        if self.sim.obs.spans.enabled:
+        if self.sim.obs.spans.enabled and dgram.trace is None:
             # lift the causal context off the payload message (if any) so
-            # NAT traversal and the transit span attach to the right trace
+            # NAT traversal and the transit span attach to the right trace;
+            # codec-mode transports attach it explicitly instead (the
+            # payload is then opaque bytes with no ``trace`` attribute)
             dgram.trace = getattr(dgram.payload, "trace", None)
         proto = dgram.proto
         for nat in src_host.nat_chain:

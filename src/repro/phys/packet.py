@@ -1,10 +1,18 @@
 """Datagram model.
 
 A :class:`Datagram` is one UDP packet travelling through the simulated
-internet.  ``payload`` is any Python object (protocol message); ``size`` is
+internet.  ``payload`` is any Python object (protocol message) — or raw
+``bytes`` when the sending transport runs the wire codec.  ``size`` is
 the on-wire size in bytes used for serialization-delay accounting.  NATs
 rewrite ``src``/``dst`` in place as the packet crosses them, and append to
 ``path`` for debugging/tests.
+
+``header`` selects the fixed framing charge added on top of ``size``.
+The reference (paper-constant) accounting uses :data:`HEADER_BYTES`,
+which bundles IP + UDP *and* overlay framing into one constant.  The
+measured modes pass :data:`~repro.wire.codec.UDP_IP_OVERHEAD` instead,
+because there the overlay framing is already part of the encoded payload
+length — charging :data:`HEADER_BYTES` on top would count it twice.
 """
 
 from __future__ import annotations
@@ -13,7 +21,8 @@ from typing import Any, Optional
 
 from repro.phys.endpoints import Endpoint
 
-# Rough fixed header cost (IP + UDP + overlay framing) added to payloads.
+# Rough fixed header cost (IP + UDP + overlay framing) added to payloads
+# in the reference (paper-constant) accounting mode.
 HEADER_BYTES = 60
 
 
@@ -24,11 +33,13 @@ class Datagram:
                  "orig_src", "trace", "span")
 
     def __init__(self, src: Endpoint, dst: Endpoint, payload: Any,
-                 size: Optional[int] = None, proto: str = "udp"):
+                 size: Optional[int] = None, proto: str = "udp",
+                 header: Optional[int] = None):
         self.src = src
         self.dst = dst
         self.payload = payload
-        self.size = HEADER_BYTES + (size if size is not None else 0)
+        framing = HEADER_BYTES if header is None else header
+        self.size = framing + (size if size is not None else 0)
         self.proto = proto
         # original (pre-NAT) source, for trace assertions
         self.orig_src = src

@@ -1,0 +1,22 @@
+"""Pluggable transports: the same protocol code over sim or real sockets.
+
+A :class:`~repro.transport.base.Transport` owns one node's datagram
+endpoint.  :class:`~repro.transport.sim.SimTransport` wraps the simulated
+internet (today's ``Internet.send``/``Host.bind_udp`` delivery);
+:class:`~repro.transport.udp.UdpTransport` binds a real asyncio UDP
+socket and frames every message through :mod:`repro.wire`.  ``BrunetNode``
+talks only to the transport interface, so the identical node/IPOP logic
+runs in either world — the sim-vs-live equivalence argument of
+DESIGN.md §12.
+
+:class:`~repro.transport.runtime.RealtimeKernel` supplies the scheduler/
+RNG/observability surface protocol code expects from a ``Simulator``, but
+backed by the asyncio event loop and the wall clock.
+"""
+
+from repro.transport.base import Transport
+from repro.transport.runtime import RealtimeKernel
+from repro.transport.sim import SimTransport
+from repro.transport.udp import UdpTransport
+
+__all__ = ["Transport", "SimTransport", "UdpTransport", "RealtimeKernel"]

@@ -1,0 +1,55 @@
+"""The transport interface protocol code programs against.
+
+``BrunetNode`` never touches sockets, hosts or the simulated internet
+directly; it sends through a :class:`Transport` and receives datagrams on
+the handler it passed to :meth:`Transport.open`.  The handler contract is
+the historical socket one::
+
+    handler(message, src_endpoint, size_bytes)
+
+where ``message`` is a decoded protocol object (transports running the
+wire codec decode before dispatch — a frame that fails to decode is
+counted on the ``wire.decode_error`` metric and dropped, mirroring how a
+real daemon must treat garbage datagrams).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable
+
+from repro.brunet.uri import Uri
+from repro.phys.endpoints import Endpoint
+
+ReceiveHandler = Callable[[Any, Endpoint, int], None]
+
+
+class Transport(abc.ABC):
+    """One node's datagram endpoint (sim-backed or socket-backed)."""
+
+    @property
+    @abc.abstractmethod
+    def local_endpoint(self) -> Endpoint:
+        """The (ip, port) this transport is reachable at."""
+
+    @property
+    def local_uri(self) -> Uri:
+        """The UDP URI of :attr:`local_endpoint`."""
+        ep = self.local_endpoint
+        return Uri.udp(ep.ip, ep.port)
+
+    @abc.abstractmethod
+    def open(self, handler: ReceiveHandler) -> Endpoint:
+        """Begin receiving into ``handler``; returns the bound endpoint
+        (which may differ from the requested one, e.g. ephemeral-port
+        fallback).  Idempotent across close/open cycles."""
+
+    @abc.abstractmethod
+    def send(self, dst: Endpoint, msg: Any, size_hint: int = 0) -> None:
+        """Fire-and-forget one message.  ``size_hint`` is the
+        paper-constant byte charge; transports in measured/codec modes
+        ignore it and charge the encoded length instead."""
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Stop receiving and release the endpoint (idempotent)."""

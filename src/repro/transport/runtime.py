@@ -1,0 +1,100 @@
+"""RealtimeKernel: the simulator surface, backed by asyncio + wall clock.
+
+Protocol code (``BrunetNode``, the linker, the overlords, ``IpopRouter``)
+consumes a narrow slice of :class:`~repro.sim.engine.Simulator`:
+
+- ``now`` and ``schedule(delay, fn, *args)`` returning a cancellable handle
+- ``rng`` — the named-stream :class:`~repro.sim.rng.RngRegistry`
+- ``obs`` — metrics / spans / flight recorder
+- ``tracer`` / ``trace()`` / ``trace_on``
+
+This class implements exactly that slice over a running asyncio event
+loop, so the identical node objects drive real UDP sockets.  Time is
+relative to kernel creation (``loop.time() - t0``), which keeps timer
+arithmetic in the same small-positive-float regime the simulator uses.
+
+It is intentionally *not* a subclass of ``Simulator`` — the discrete
+event queue, the timer wheel and ``run()`` make no sense under a wall
+clock.  Anything outside the slice above raises ``AttributeError``
+loudly rather than silently misbehaving.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Optional
+
+from repro.obs.hub import Observability
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import Tracer
+
+
+class _Handle:
+    """Duck-type of :class:`repro.sim.engine.Event` over ``call_later``."""
+
+    __slots__ = ("_timer", "cancelled")
+
+    def __init__(self, timer: asyncio.TimerHandle):
+        self._timer = timer
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        if not self.cancelled:
+            self.cancelled = True
+            self._timer.cancel()
+
+
+class RealtimeKernel:
+    """Wall-clock stand-in for ``Simulator`` (see module docstring)."""
+
+    def __init__(self, seed: int = 0,
+                 loop: Optional[asyncio.AbstractEventLoop] = None):
+        self.loop = loop or asyncio.get_running_loop()
+        self._t0 = self.loop.time()
+        self.rng = RngRegistry(seed)
+        self.tracer = Tracer(enabled=False)
+        self.obs = Observability(self, metrics=True)
+        self.events_processed = 0
+        #: mirrors ``Simulator.executing``; subsystems use it to coalesce
+        #: work until the end of the current callback
+        self.executing = False
+
+    # -- clock ----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Seconds since kernel creation (monotonic)."""
+        return self.loop.time() - self._t0
+
+    # -- scheduling ------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any,
+                 priority: int = 0) -> _Handle:
+        """Run ``fn(*args)`` after ``delay`` wall-clock seconds."""
+        handle = _Handle(self.loop.call_later(
+            max(0.0, delay), self._fire, fn, args))
+        return handle
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any,
+                    priority: int = 0) -> _Handle:
+        """Run ``fn(*args)`` at absolute kernel time ``time``."""
+        return self.schedule(time - self.now, fn, *args, priority=priority)
+
+    def _fire(self, fn: Callable[..., Any], args: tuple) -> None:
+        self.events_processed += 1
+        self.executing = True
+        try:
+            fn(*args)
+        finally:
+            self.executing = False
+
+    # -- tracing ---------------------------------------------------------
+    @property
+    def trace_on(self) -> bool:
+        """Always False: the structured tracer is a sim-analysis tool."""
+        return self.tracer.enabled
+
+    def trace(self, category: str, **data: Any) -> None:
+        """No-op under the wall clock (tracer is constructed disabled)."""
+        self.tracer.record(self.now, category, data)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<RealtimeKernel t={self.now:.3f}>"

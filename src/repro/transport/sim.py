@@ -1,0 +1,128 @@
+"""SimTransport: the simulator-backed transport.
+
+Wraps ``Host.bind_udp`` / ``Internet.send`` delivery.  Three wire modes
+(selected by ``BrunetConfig.wire_mode``):
+
+``"reference"``
+    Today's behaviour, bit-for-bit: the message object travels by
+    reference and is charged the caller's paper-constant ``size_hint``
+    plus :data:`~repro.phys.packet.HEADER_BYTES`.  Same-seed runs stay
+    byte-identical to the pre-codec simulator.
+
+``"measured"``
+    The object still travels by reference (fast), but the byte charge is
+    the *measured* encoded length ``len(wire.encode(msg))`` plus real
+    UDP/IP headers — honest accounting without paying encode+decode on
+    the receive side.
+
+``"codec"``
+    Full serialization: the datagram carries encoded bytes; the receive
+    path decodes (or counts ``wire.decode_error`` and drops).  This is
+    the strongest sim-vs-live equivalence mode — the simulator exercises
+    the exact byte path the UDP transport uses.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.phys.endpoints import Endpoint
+from repro.transport.base import ReceiveHandler, Transport
+from repro.wire import codec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.phys.host import Host, UdpSocket
+    from repro.phys.packet import Datagram
+    from repro.sim.engine import Simulator
+
+WIRE_MODES = ("reference", "measured", "codec")
+
+
+class SimTransport(Transport):
+    """Datagram endpoint on a simulated host."""
+
+    def __init__(self, sim: "Simulator", host: "Host", port: int,
+                 wire_mode: str = "reference", name: str = ""):
+        if wire_mode not in WIRE_MODES:
+            raise ValueError(f"unknown wire_mode {wire_mode!r} "
+                             f"(expected one of {WIRE_MODES})")
+        self.sim = sim
+        self.host = host
+        self.port = port
+        self.wire_mode = wire_mode
+        self.name = name or host.name
+        self.sock: Optional["UdpSocket"] = None
+        self._handler: Optional[ReceiveHandler] = None
+        metrics = sim.obs.metrics
+        self._m_decode_err = metrics.counter("wire.decode_error",
+                                             node=self.name)
+        if wire_mode != "reference":
+            self._m_tx_bytes = metrics.counter("wire.tx_bytes",
+                                               node=self.name)
+            self._m_rx_bytes = metrics.counter("wire.rx_bytes",
+                                               node=self.name)
+
+    # ------------------------------------------------------------------
+    @property
+    def local_endpoint(self) -> Endpoint:
+        return Endpoint(self.host.ip, self.port)
+
+    def open(self, handler: ReceiveHandler) -> Endpoint:
+        if self.sock is not None:
+            raise RuntimeError(f"{self.name}: transport already open")
+        if self.port in self.host.sockets:
+            self.port = self.host.ephemeral_port()
+        self._handler = handler
+        self.sock = self.host.bind_udp(self.port, handler)
+        if self.wire_mode == "codec":
+            self.sock.dgram_handler = self._on_codec_dgram
+        return self.local_endpoint
+
+    def close(self) -> None:
+        if self.sock is not None:
+            self.sock.close()
+            self.sock = None
+
+    # ------------------------------------------------------------------
+    def send(self, dst: Endpoint, msg: Any, size_hint: int = 0) -> None:
+        sock = self.sock
+        if sock is None or sock.closed:
+            return
+        mode = self.wire_mode
+        if mode == "reference":
+            sock.send(dst, msg, size=size_hint)
+            return
+        if mode == "measured":
+            nbytes = codec.encoded_size(msg)
+            self._m_tx_bytes.inc(nbytes)
+            sock.send(dst, msg, size=nbytes, header=codec.UDP_IP_OVERHEAD)
+            return
+        # codec: the datagram carries real bytes; causal context must ride
+        # the datagram explicitly since the payload is now opaque
+        buf = codec.encode(msg)
+        self._m_tx_bytes.inc(len(buf))
+        sock.send(dst, buf, size=len(buf), header=codec.UDP_IP_OVERHEAD,
+                  trace=getattr(msg, "trace", None))
+
+    # ------------------------------------------------------------------
+    def _on_codec_dgram(self, dgram: "Datagram") -> None:
+        """Codec-mode delivery: decode, restore post-transit trace
+        context, dispatch.  Malformed frames are counted and dropped —
+        never raised into the simulation event loop."""
+        try:
+            msg = codec.decode(dgram.payload)
+        except codec.DecodeError:
+            self._m_decode_err.inc()
+            return
+        self._m_rx_bytes.inc(len(dgram.payload))
+        if dgram.trace is not None and getattr(msg, "trace", None) is not None:
+            # the transit span re-parented the sender's ref at delivery;
+            # adopt its ids so the receiver's hop chain nests under the
+            # physical transit exactly as in reference mode
+            msg.trace.trace_id = dgram.trace.trace_id
+            msg.trace.parent = dgram.trace.parent
+        self._handler(msg, dgram.src, dgram.size)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<SimTransport {self.name} {self.local_endpoint} "
+                f"mode={self.wire_mode}>")

@@ -1,0 +1,39 @@
+"""Deterministic wire-format codec for WOW protocol messages.
+
+The simulator historically passed Python message objects by reference and
+charged ``size`` from config constants; the Brunet/IPOP systems the paper
+describes exchange real serialized datagrams over UDP.  This package is
+the bridge: a compact binary encoding (version byte, type tag,
+length-prefixed fields) for every protocol message, so that
+
+* the same ``BrunetNode``/``IpopRouter`` code runs over real sockets
+  (:class:`repro.transport.udp.UdpTransport`) or the simulator
+  (:class:`repro.transport.sim.SimTransport`);
+* byte accounting can be *measured* (``len(encode(msg))``) instead of
+  asserted from constants — see ``BrunetConfig.wire_mode``.
+
+Decode failures raise the typed :class:`DecodeError`; transports count
+them (``wire.decode_error``) and drop the datagram instead of letting the
+exception escape the event loop.
+"""
+
+from repro.wire.codec import (
+    UDP_IP_OVERHEAD,
+    WIRE_VERSION,
+    DecodeError,
+    decode,
+    encode,
+    encoded_size,
+)
+from repro.wire.sizing import encap_overhead, reference_sizes
+
+__all__ = [
+    "UDP_IP_OVERHEAD",
+    "WIRE_VERSION",
+    "DecodeError",
+    "decode",
+    "encode",
+    "encoded_size",
+    "encap_overhead",
+    "reference_sizes",
+]

@@ -1,0 +1,526 @@
+"""Binary codec: tag + length-prefixed fields for every protocol message.
+
+Frame layout (outermost message only)::
+
+    byte 0      WIRE_VERSION
+    byte 1      type tag
+    bytes 2..   fields, fixed order per type
+
+Nested values (a ``RoutedPacket``'s payload, a ``Forward``'s inner
+message, an ``IpEncap``'s virtual packet) repeat the ``tag + fields``
+shape without the version byte.  All integers are big-endian; strings are
+UTF-8 with a u16 length prefix; lists carry a u16 count; optional fields
+carry a presence byte.  Addresses are the raw 20 bytes of the 160-bit
+ring position.  Trace context is encoded as the ``(trace_id, parent)``
+id pair — the receiving side reconstructs a fresh
+:class:`~repro.obs.spans.TraceRef`, so causal traces survive the byte
+boundary without object references.
+
+Payloads the protocol does not define (DHT records, middleware RPC
+bodies, vTCP segments) fall back to an ``OPAQUE`` frame carrying a pickle
+of the object.  That keeps the codec total over everything the overlay
+can legitimately carry; like the paper's deployment, peers on a link are
+assumed to be inside one trust domain (do not decode frames from
+untrusted networks).
+
+Every decode failure — truncation, bad version, unknown tag, malformed
+UTF-8/pickle, trailing garbage — raises :class:`DecodeError` and nothing
+else.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Any, Callable, Optional
+
+from repro.brunet.address import BrunetAddress
+from repro.brunet.messages import (
+    CloseMessage,
+    CtmReply,
+    CtmRequest,
+    Forward,
+    IpEncap,
+    LinkError,
+    LinkReply,
+    LinkRequest,
+    PingReply,
+    PingRequest,
+    RoutedPacket,
+)
+from repro.brunet.uri import Uri
+from repro.ipop.ippacket import IcmpEcho, VirtualIpPacket
+from repro.obs.spans import TraceRef
+from repro.phys.endpoints import Endpoint
+
+#: wire format version; bumped on any incompatible layout change
+WIRE_VERSION = 1
+
+#: physical framing charged per datagram in measured/codec accounting:
+#: IPv4 header (20) + UDP header (8).  The overlay's own framing is part
+#: of the encoded message, so it is never charged twice.
+UDP_IP_OVERHEAD = 28
+
+ADDRESS_BYTES = 20
+
+# type tags (stable on the wire — append, never renumber)
+T_LINK_REQUEST = 1
+T_LINK_REPLY = 2
+T_LINK_ERROR = 3
+T_CLOSE = 4
+T_PING_REQUEST = 5
+T_PING_REPLY = 6
+T_CTM_REQUEST = 7
+T_CTM_REPLY = 8
+T_IP_ENCAP = 9
+T_FORWARD = 10
+T_ROUTED = 11
+T_VIRTUAL_IP = 12
+T_ICMP_ECHO = 13
+T_NONE = 14
+T_STR = 15
+T_BYTES = 16
+T_OPAQUE = 17
+
+_U8 = struct.Struct(">B")
+_U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+_U64 = struct.Struct(">Q")
+_F64 = struct.Struct(">d")
+
+
+class DecodeError(ValueError):
+    """A buffer could not be decoded into a protocol message."""
+
+
+# ---------------------------------------------------------------------------
+# writer
+# ---------------------------------------------------------------------------
+
+class _Writer:
+    __slots__ = ("buf",)
+
+    def __init__(self) -> None:
+        self.buf = bytearray()
+
+    def u8(self, v: int) -> None:
+        self.buf += _U8.pack(v)
+
+    def u16(self, v: int) -> None:
+        self.buf += _U16.pack(v)
+
+    def u32(self, v: int) -> None:
+        self.buf += _U32.pack(v)
+
+    def u64(self, v: int) -> None:
+        self.buf += _U64.pack(v)
+
+    def f64(self, v: float) -> None:
+        self.buf += _F64.pack(v)
+
+    def boolean(self, v: bool) -> None:
+        self.buf += _U8.pack(1 if v else 0)
+
+    def string(self, v: str) -> None:
+        raw = v.encode("utf-8")
+        self.u16(len(raw))
+        self.buf += raw
+
+    def blob(self, v: bytes) -> None:
+        self.u32(len(v))
+        self.buf += v
+
+    def address(self, v: int) -> None:
+        self.buf += int(v).to_bytes(ADDRESS_BYTES, "big")
+
+    def uri(self, v: Uri) -> None:
+        self.string(v.transport)
+        self.string(v.endpoint.ip)
+        self.u16(v.endpoint.port)
+
+    def uris(self, v: list) -> None:
+        self.u16(len(v))
+        for u in v:
+            self.uri(u)
+
+    def addresses(self, v: list) -> None:
+        self.u16(len(v))
+        for a in v:
+            self.address(a)
+
+    def opt_address(self, v: Optional[int]) -> None:
+        if v is None:
+            self.u8(0)
+        else:
+            self.u8(1)
+            self.address(v)
+
+    def opt_string(self, v: Optional[str]) -> None:
+        if v is None:
+            self.u8(0)
+        else:
+            self.u8(1)
+            self.string(v)
+
+    def trace(self, ref: Optional[TraceRef]) -> None:
+        if ref is None:
+            self.u8(0)
+        else:
+            self.u8(1)
+            self.u64(ref.trace_id)
+            self.u64(ref.parent)
+
+
+# ---------------------------------------------------------------------------
+# reader
+# ---------------------------------------------------------------------------
+
+class _Reader:
+    __slots__ = ("buf", "pos")
+
+    def __init__(self, buf: bytes) -> None:
+        self.buf = buf
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        end = self.pos + n
+        if end > len(self.buf):
+            raise DecodeError(
+                f"truncated buffer: need {n} bytes at offset {self.pos}, "
+                f"have {len(self.buf) - self.pos}")
+        chunk = self.buf[self.pos:end]
+        self.pos = end
+        return chunk
+
+    @property
+    def remaining(self) -> int:
+        return len(self.buf) - self.pos
+
+    def u8(self) -> int:
+        return _U8.unpack(self.take(1))[0]
+
+    def u16(self) -> int:
+        return _U16.unpack(self.take(2))[0]
+
+    def u32(self) -> int:
+        return _U32.unpack(self.take(4))[0]
+
+    def u64(self) -> int:
+        return _U64.unpack(self.take(8))[0]
+
+    def f64(self) -> float:
+        return _F64.unpack(self.take(8))[0]
+
+    def boolean(self) -> bool:
+        return self.u8() != 0
+
+    def string(self) -> str:
+        raw = self.take(self.u16())
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise DecodeError(f"malformed UTF-8 string: {exc}") from None
+
+    def blob(self) -> bytes:
+        return bytes(self.take(self.u32()))
+
+    def address(self) -> BrunetAddress:
+        return BrunetAddress(int.from_bytes(self.take(ADDRESS_BYTES), "big"))
+
+    def uri(self) -> Uri:
+        transport = self.string()
+        ip = self.string()
+        port = self.u16()
+        return Uri(transport, Endpoint(ip, port))
+
+    def uris(self) -> list:
+        return [self.uri() for _ in range(self.u16())]
+
+    def addresses(self) -> list:
+        return [self.address() for _ in range(self.u16())]
+
+    def opt_address(self) -> Optional[BrunetAddress]:
+        return self.address() if self.u8() else None
+
+    def opt_string(self) -> Optional[str]:
+        return self.string() if self.u8() else None
+
+    def trace(self) -> Optional[TraceRef]:
+        if not self.u8():
+            return None
+        trace_id = self.u64()
+        parent = self.u64()
+        return TraceRef(trace_id, parent)
+
+
+# ---------------------------------------------------------------------------
+# per-type encoders/decoders
+# ---------------------------------------------------------------------------
+
+def _enc_link_request(w: _Writer, m: LinkRequest) -> None:
+    w.u64(m.token)
+    w.address(m.sender_addr)
+    w.uris(m.sender_uris)
+    w.string(m.conn_type)
+    w.trace(m.trace)
+
+
+def _dec_link_request(r: _Reader) -> LinkRequest:
+    return LinkRequest(r.u64(), r.address(), r.uris(), r.string(), r.trace())
+
+
+def _enc_link_reply(w: _Writer, m: LinkReply) -> None:
+    w.u64(m.token)
+    w.address(m.sender_addr)
+    w.uris(m.sender_uris)
+    w.uri(m.observed_uri)
+    w.string(m.conn_type)
+    w.trace(m.trace)
+
+
+def _dec_link_reply(r: _Reader) -> LinkReply:
+    return LinkReply(r.u64(), r.address(), r.uris(), r.uri(), r.string(),
+                     r.trace())
+
+
+def _enc_link_error(w: _Writer, m: LinkError) -> None:
+    w.u64(m.token)
+    w.address(m.sender_addr)
+    w.string(m.reason)
+
+
+def _dec_link_error(r: _Reader) -> LinkError:
+    return LinkError(r.u64(), r.address(), r.string())
+
+
+def _enc_close(w: _Writer, m: CloseMessage) -> None:
+    w.address(m.sender_addr)
+    w.string(m.reason)
+
+
+def _dec_close(r: _Reader) -> CloseMessage:
+    return CloseMessage(r.address(), r.string())
+
+
+def _enc_ping_request(w: _Writer, m: PingRequest) -> None:
+    w.u64(m.token)
+    w.address(m.sender_addr)
+
+
+def _dec_ping_request(r: _Reader) -> PingRequest:
+    return PingRequest(r.u64(), r.address())
+
+
+def _enc_ping_reply(w: _Writer, m: PingReply) -> None:
+    w.u64(m.token)
+    w.address(m.sender_addr)
+    w.uri(m.observed_uri)
+    w.boolean(m.known)
+
+
+def _dec_ping_reply(r: _Reader) -> PingReply:
+    return PingReply(r.u64(), r.address(), r.uri(), r.boolean())
+
+
+def _enc_ctm_request(w: _Writer, m: CtmRequest) -> None:
+    w.u64(m.token)
+    w.address(m.initiator_addr)
+    w.uris(m.initiator_uris)
+    w.string(m.conn_type)
+    w.opt_address(m.reply_via)
+    w.u16(m.fanout)
+
+
+def _dec_ctm_request(r: _Reader) -> CtmRequest:
+    return CtmRequest(r.u64(), r.address(), r.uris(), r.string(),
+                      r.opt_address(), r.u16())
+
+
+def _enc_ctm_reply(w: _Writer, m: CtmReply) -> None:
+    w.u64(m.token)
+    w.address(m.responder_addr)
+    w.uris(m.responder_uris)
+    w.string(m.conn_type)
+
+
+def _dec_ctm_reply(r: _Reader) -> CtmReply:
+    return CtmReply(r.u64(), r.address(), r.uris(), r.string())
+
+
+def _enc_ip_encap(w: _Writer, m: IpEncap) -> None:
+    _enc_any(w, m.payload)
+    w.u32(m.size)
+
+
+def _dec_ip_encap(r: _Reader) -> IpEncap:
+    return IpEncap(_dec_any(r), r.u32())
+
+
+def _enc_forward(w: _Writer, m: Forward) -> None:
+    w.address(m.final_dest)
+    _enc_any(w, m.inner)
+    w.u32(m.size)
+
+
+def _dec_forward(r: _Reader) -> Forward:
+    return Forward(r.address(), _dec_any(r), r.u32())
+
+
+def _enc_routed(w: _Writer, m: RoutedPacket) -> None:
+    w.address(m.src)
+    w.address(m.dest)
+    _enc_any(w, m.payload)
+    w.u32(m.size)
+    w.boolean(m.exact)
+    w.boolean(m.exclude_dest_link)
+    w.opt_string(m.approach)
+    w.u16(m.ttl)
+    w.u16(m.hops)
+    w.addresses(m.via)
+    w.trace(m.trace)
+
+
+def _dec_routed(r: _Reader) -> RoutedPacket:
+    return RoutedPacket(
+        src=r.address(), dest=r.address(), payload=_dec_any(r),
+        size=r.u32(), exact=r.boolean(), exclude_dest_link=r.boolean(),
+        approach=r.opt_string(), ttl=r.u16(), hops=r.u16(),
+        via=r.addresses(), trace=r.trace())
+
+
+def _enc_virtual_ip(w: _Writer, m: VirtualIpPacket) -> None:
+    w.string(m.src_ip)
+    w.string(m.dst_ip)
+    w.string(m.proto)
+    w.u32(m.port)
+    _enc_any(w, m.payload)
+    w.u32(m.size)
+
+
+def _dec_virtual_ip(r: _Reader) -> VirtualIpPacket:
+    return VirtualIpPacket(r.string(), r.string(), r.string(), r.u32(),
+                           _dec_any(r), r.u32())
+
+
+def _enc_icmp_echo(w: _Writer, m: IcmpEcho) -> None:
+    w.u32(m.seq)
+    w.boolean(m.is_reply)
+    w.f64(m.sent_at)
+    w.u32(m.data_size)
+
+
+def _dec_icmp_echo(r: _Reader) -> IcmpEcho:
+    return IcmpEcho(r.u32(), r.boolean(), r.f64(), r.u32())
+
+
+_ENCODERS: dict[type, tuple[int, Callable[[_Writer, Any], None]]] = {
+    LinkRequest: (T_LINK_REQUEST, _enc_link_request),
+    LinkReply: (T_LINK_REPLY, _enc_link_reply),
+    LinkError: (T_LINK_ERROR, _enc_link_error),
+    CloseMessage: (T_CLOSE, _enc_close),
+    PingRequest: (T_PING_REQUEST, _enc_ping_request),
+    PingReply: (T_PING_REPLY, _enc_ping_reply),
+    CtmRequest: (T_CTM_REQUEST, _enc_ctm_request),
+    CtmReply: (T_CTM_REPLY, _enc_ctm_reply),
+    IpEncap: (T_IP_ENCAP, _enc_ip_encap),
+    Forward: (T_FORWARD, _enc_forward),
+    RoutedPacket: (T_ROUTED, _enc_routed),
+    VirtualIpPacket: (T_VIRTUAL_IP, _enc_virtual_ip),
+    IcmpEcho: (T_ICMP_ECHO, _enc_icmp_echo),
+}
+
+_DECODERS: dict[int, Callable[[_Reader], Any]] = {
+    T_LINK_REQUEST: _dec_link_request,
+    T_LINK_REPLY: _dec_link_reply,
+    T_LINK_ERROR: _dec_link_error,
+    T_CLOSE: _dec_close,
+    T_PING_REQUEST: _dec_ping_request,
+    T_PING_REPLY: _dec_ping_reply,
+    T_CTM_REQUEST: _dec_ctm_request,
+    T_CTM_REPLY: _dec_ctm_reply,
+    T_IP_ENCAP: _dec_ip_encap,
+    T_FORWARD: _dec_forward,
+    T_ROUTED: _dec_routed,
+    T_VIRTUAL_IP: _dec_virtual_ip,
+    T_ICMP_ECHO: _dec_icmp_echo,
+    T_NONE: lambda r: None,
+    T_STR: lambda r: r.string(),
+    T_BYTES: lambda r: r.blob(),
+}
+
+
+def _dec_opaque(r: _Reader) -> Any:
+    raw = r.blob()
+    try:
+        return pickle.loads(raw)
+    except Exception as exc:  # any unpickling failure is a decode failure
+        raise DecodeError(f"malformed opaque payload: {exc!r}") from None
+
+
+_DECODERS[T_OPAQUE] = _dec_opaque
+
+
+def _enc_any(w: _Writer, value: Any) -> None:
+    entry = _ENCODERS.get(type(value))
+    if entry is not None:
+        tag, enc = entry
+        w.u8(tag)
+        enc(w, value)
+    elif value is None:
+        w.u8(T_NONE)
+    elif type(value) is str:
+        w.u8(T_STR)
+        w.string(value)
+    elif type(value) is bytes:
+        w.u8(T_BYTES)
+        w.blob(value)
+    else:
+        w.u8(T_OPAQUE)
+        w.blob(pickle.dumps(value, protocol=4))
+
+
+def _dec_any(r: _Reader) -> Any:
+    tag = r.u8()
+    dec = _DECODERS.get(tag)
+    if dec is None:
+        raise DecodeError(f"unknown type tag {tag}")
+    return dec(r)
+
+
+# ---------------------------------------------------------------------------
+# public API
+# ---------------------------------------------------------------------------
+
+def encode(msg: Any) -> bytes:
+    """Serialize one protocol message into a versioned frame."""
+    w = _Writer()
+    w.u8(WIRE_VERSION)
+    _enc_any(w, msg)
+    return bytes(w.buf)
+
+
+def decode(buf: bytes) -> Any:
+    """Inverse of :func:`encode`; raises :class:`DecodeError` on any
+    malformed input (truncation, bad version, unknown tag, trailing
+    bytes)."""
+    if not isinstance(buf, (bytes, bytearray, memoryview)):
+        raise DecodeError(f"not a buffer: {type(buf).__name__}")
+    r = _Reader(bytes(buf))
+    version = r.u8()
+    if version != WIRE_VERSION:
+        raise DecodeError(f"unsupported wire version {version} "
+                          f"(expected {WIRE_VERSION})")
+    try:
+        msg = _dec_any(r)
+    except DecodeError:
+        raise
+    except (struct.error, OverflowError, ValueError) as exc:
+        raise DecodeError(f"malformed frame: {exc}") from None
+    if r.remaining:
+        raise DecodeError(f"{r.remaining} trailing bytes after message")
+    return msg
+
+
+def encoded_size(msg: Any) -> int:
+    """Measured on-wire size of ``msg`` in bytes (excluding UDP/IP)."""
+    return len(encode(msg))
