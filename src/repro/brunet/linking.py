@@ -155,6 +155,10 @@ class Linker:
         """Abort every in-flight attempt (node shutdown)."""
         for attempt in list(self.by_token.values()):
             self._deregister(attempt)
+            # a traced attempt must not leave its span dangling open —
+            # post-hoc span-tree reconstruction treats never-closed
+            # non-root spans as leaks
+            self._end_attempt_span(attempt, "cancelled")
 
     # -- send/retry machinery ------------------------------------------------
     def _send_request(self, attempt: LinkAttempt) -> None:

@@ -271,6 +271,12 @@ class ShortcutConnectionOverlord(Overlord):
         node = self.node
         cfg = node.config
         now = node.sim.now
+        # expired pending slots must be pruned here: they are only popped
+        # on connection success, so a failed attempt toward a dest that
+        # went cold would otherwise pin its slot forever
+        if self._pending:
+            self._pending = {d: t for d, t in self._pending.items()
+                             if t > now}
         c = cfg.shortcut_service_rate * cfg.shortcut_tick
         for dest in set(self.scores) | set(self.arrivals):
             a = self.arrivals.pop(dest, 0)
@@ -300,12 +306,12 @@ class ShortcutConnectionOverlord(Overlord):
             return
         shortcuts = node.table.by_type(ConnectionType.SHORTCUT)
         if len(shortcuts) >= node.config.shortcut_max:
-            victim = min(shortcuts, key=lambda c: self.score_of(c.peer_addr))
+            victim = min(shortcuts, key=lambda c: (self.score_of(c.peer_addr),
+                                                   int(c.peer_addr)))
             if self.score_of(victim.peer_addr) >= score:
                 return
             self._m_evictions.inc()
-            node.drop_connection(victim, reason="shortcut-evicted",
-                                 notify=True)
+            self._release_shortcut(victim, reason="shortcut-evicted")
         self._pending[dest] = now + self._pending_ttl
         node.trace("shortcut.initiate", dest=dest, score=score)
         self._m_ctms.inc()
@@ -319,8 +325,18 @@ class ShortcutConnectionOverlord(Overlord):
         for conn in self.node.table.by_type(ConnectionType.SHORTCUT):
             last = self._last_nonzero.get(conn.peer_addr, conn.established_at)
             if now - last > idle_limit:
-                if conn.types == {ConnectionType.SHORTCUT}:
-                    self.node.drop_connection(conn, reason="shortcut-idle",
-                                              notify=True)
-                else:
-                    conn.discard_type(ConnectionType.SHORTCUT)
+                self._release_shortcut(conn, reason="shortcut-idle")
+
+    def _release_shortcut(self, conn: Connection, reason: str) -> None:
+        """Give up the SHORTCUT role on ``conn``.
+
+        Connections carry a *set* of type labels (``connection.py``): the
+        shortcut target may simultaneously be a ring neighbour or a far
+        link.  Closing the physical link in that case would sever a
+        NEAR/FAR connection the other overlords still depend on — only a
+        link whose sole remaining role is SHORTCUT may be closed.
+        """
+        if conn.types == {ConnectionType.SHORTCUT}:
+            self.node.drop_connection(conn, reason=reason, notify=True)
+        else:
+            conn.discard_type(ConnectionType.SHORTCUT)

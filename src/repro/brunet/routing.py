@@ -80,7 +80,10 @@ def _next_hop_scan(table: ConnectionTable, my_addr: BrunetAddress,
         if conn.peer_addr == dest and (exclude_dest_link or approach):
             continue
         d = _metric(conn.peer_addr, dest, approach)
-        if d < best_d:
+        # equidistant candidates (one per side of dest) tie-break by
+        # address so the decision never depends on table insertion order
+        if d < best_d or (d == best_d and best is not None
+                          and conn.peer_addr < best.peer_addr):
             best, best_d = conn, d
     return best
 

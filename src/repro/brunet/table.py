@@ -117,12 +117,18 @@ class ConnectionTable:
 
     def closest_to(self, dest: BrunetAddress) -> Optional[Connection]:
         """Structured connection whose peer is nearest to ``dest`` on the
-        ring; None when the table has no structured connections."""
+        ring; None when the table has no structured connections.
+
+        Two peers can be exactly equidistant from ``dest`` (one on each
+        side); the tie goes to the lower address so the answer never
+        depends on table insertion order.
+        """
         best: Optional[Connection] = None
         best_d: Optional[int] = None
         for conn in self.structured():
             d = ring_distance(conn.peer_addr, dest)
-            if best_d is None or d < best_d:
+            if (best_d is None or d < best_d
+                    or (d == best_d and conn.peer_addr < best.peer_addr)):
                 best, best_d = conn, d
         return best
 
@@ -142,7 +148,11 @@ class ConnectionTable:
                  else directed_distance(conn.peer_addr, self.my_addr))
             if d == 0:
                 continue
-            if best_d is None or d < best_d:
+            # distinct peers have distinct directed distances, so the
+            # address tie-break only matters for duplicate-address tables;
+            # it keeps the choice independent of insertion order regardless
+            if (best_d is None or d < best_d
+                    or (d == best_d and conn.peer_addr < best.peer_addr)):
                 best, best_d = conn, d
         return best
 
@@ -158,8 +168,8 @@ class ConnectionTable:
             d_cw = directed_distance(addr, conn.peer_addr)
             right.append((d_cw, conn))
             left.append(((-d_cw) % (1 << 160), conn))
-        right.sort(key=lambda t: t[0])
-        left.sort(key=lambda t: t[0])
+        right.sort(key=lambda t: (t[0], int(t[1].peer_addr)))
+        left.sort(key=lambda t: (t[0], int(t[1].peer_addr)))
         picked: dict[BrunetAddress, Connection] = {}
         for _, conn in right[:per_side] + left[:per_side]:
             picked[conn.peer_addr] = conn

@@ -1,0 +1,24 @@
+"""Overlay invariant auditor.
+
+Inline (:class:`Auditor` sampling a live simulation) and post-hoc
+(:func:`audit_bundle` over an obs export directory) checks of the
+ring/routing consistency properties the WOW overlay must self-restore:
+ring consistency, connection symmetry, routing convergence, next-hop
+cache coherence, and resource-leak freedom.  See
+:mod:`repro.check.invariants` for the invariant catalog.
+"""
+
+from repro.check.auditor import ALL_CHECKS, AuditConfig, Auditor
+from repro.check.invariants import Violation
+
+__all__ = ["ALL_CHECKS", "AuditConfig", "Auditor", "Violation",
+           "audit_bundle"]
+
+
+def __getattr__(name):
+    # lazy: keeps ``python -m repro.check.posthoc`` free of the runpy
+    # already-in-sys.modules warning
+    if name == "audit_bundle":
+        from repro.check.posthoc import audit_bundle
+        return audit_bundle
+    raise AttributeError(name)

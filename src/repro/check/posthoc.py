@@ -1,0 +1,179 @@
+"""Post-hoc invariant audit over an obs-layer export bundle.
+
+Inline sweeps see live object state; this module checks what survives
+into a ``sim.obs.export()`` directory, so a bundle produced anywhere
+(CI artifact, a collaborator's run) can be audited without re-running
+the simulation:
+
+* **manifest integrity** — every file the manifest references exists
+  and parses;
+* **span-tree closure** — every span's parent id resolves inside its
+  own trace, and no *non-root* span is left open at export time beyond
+  the grace window (root spans of lost packets legitimately stay open);
+* **conn event balance** — per node, ``conn.drop`` events never
+  outnumber ``conn.add`` events (a negative balance means a connection
+  was torn down twice or added bypassing the table);
+* **recorded violations** — an inline auditor's ``violations.jsonl``
+  is surfaced verbatim, so a bundle that shipped with violations fails
+  the post-hoc audit too.
+
+Skipped checks degrade gracefully: when the bundle has no spans or no
+events file the corresponding checks are skipped, not failed — except
+when the manifest *claims* the file exists.
+
+CLI::
+
+    python -m repro.check.posthoc runs/churn-obs   # exit 1 on violations
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import Optional
+
+from repro.check.invariants import Violation
+
+
+def _load_jsonl(path: str) -> list[dict]:
+    rows = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows
+
+
+def audit_bundle(run_dir: str,
+                 span_grace: float = 900.0) -> list[Violation]:
+    """Audit one export bundle; returns violations (empty = clean)."""
+    out: list[Violation] = []
+    manifest_path = os.path.join(run_dir, "manifest.json")
+    if not os.path.exists(manifest_path):
+        return [Violation(0.0, "bundle", "bundle.no-manifest", "",
+                          "bundle.no-manifest",
+                          f"{run_dir} has no manifest.json")]
+    with open(manifest_path, encoding="utf-8") as fh:
+        manifest = json.load(fh)
+    now = float(manifest.get("sim_time", 0.0))
+
+    files = manifest.get("files", {})
+    loaded: dict[str, list[dict]] = {}
+    for kind, fname in sorted(files.items()):
+        path = os.path.join(run_dir, fname)
+        if not os.path.exists(path):
+            out.append(Violation(
+                now, "bundle", "bundle.missing-file", "",
+                f"bundle.missing-file:{kind}",
+                f"manifest lists {fname} ({kind}) but it is absent"))
+            continue
+        if fname.endswith(".jsonl"):
+            try:
+                loaded[kind] = _load_jsonl(path)
+            except (ValueError, UnicodeDecodeError) as exc:
+                out.append(Violation(
+                    now, "bundle", "bundle.corrupt-file", "",
+                    f"bundle.corrupt-file:{kind}",
+                    f"{fname} does not parse as jsonl: {exc}"))
+
+    if "spans" in loaded:
+        out.extend(_audit_spans(loaded["spans"], now, span_grace,
+                                dropped=manifest.get("spans_dropped", 0)))
+    if "events" in loaded:
+        out.extend(_audit_conn_balance(loaded["events"], now))
+    for row in loaded.get("violations", []):
+        out.append(Violation(
+            float(row.get("t", now)), row.get("check", "?"),
+            row.get("kind", "?"), row.get("node", ""),
+            row.get("key", "?"), row.get("detail", "")))
+    return out
+
+
+def _audit_spans(rows: list[dict], now: float, span_grace: float,
+                 dropped: int = 0) -> list[Violation]:
+    """Structural audit of the exported span forest.
+
+    When the collector dropped spans at its cap, parents may legitimately
+    be missing — dangling-parent findings are suppressed then (closure
+    can't be judged on a truncated forest), but open-span findings still
+    stand: an exported span that never closed is dangling regardless.
+    """
+    out: list[Violation] = []
+    by_trace_ids: dict[int, set] = {}
+    roots: set = set()
+    for row in rows:
+        by_trace_ids.setdefault(row["trace"], set()).add(row["id"])
+        if row.get("parent") is None:
+            roots.add(row["id"])
+    for row in rows:
+        parent = row.get("parent")
+        if parent is not None and dropped == 0 \
+                and parent not in by_trace_ids.get(row["trace"], ()):
+            out.append(Violation(
+                now, "span", "span.dangling-parent", row.get("node", ""),
+                f"span.dangling-parent:{row['id']}",
+                f"span {row['id']} ({row.get('name')}) references parent "
+                f"{parent} absent from trace {row['trace']}"))
+        if row.get("t1") is None and row["id"] not in roots \
+                and now - float(row["t0"]) > span_grace:
+            out.append(Violation(
+                now, "span", "span.dangling", row.get("node", ""),
+                f"span.dangling:{row['id']}",
+                f"span {row['id']} ({row.get('name')}) on "
+                f"{row.get('node', '?')} still open at export, "
+                f"started t={row['t0']:g}s"))
+    return out
+
+
+def _audit_conn_balance(rows: list[dict], now: float) -> list[Violation]:
+    """conn.drop must never outrun conn.add for any node.
+
+    The spill only retains each node's tail, so adds may be rotated out
+    while drops survive — a *positive* balance is therefore meaningless
+    here, but a drop for a peer with no prior add in the same retained
+    window still bounds double-teardowns.
+    """
+    out: list[Violation] = []
+    balance: dict[str, int] = {}
+    flagged: set = set()
+    for row in rows:
+        cat = row.get("category")
+        if cat not in ("conn.add", "conn.drop"):
+            continue
+        node = row.get("node", "?")
+        balance[node] = balance.get(node, 0) + (1 if cat == "conn.add"
+                                                else -1)
+        if balance[node] < 0 and node not in flagged:
+            flagged.add(node)
+            out.append(Violation(
+                float(row.get("t", now)), "bundle", "bundle.conn-balance",
+                node, f"bundle.conn-balance:{node}",
+                f"{node} records more conn.drop than conn.add events "
+                f"in its retained window"))
+    return out
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    import argparse
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check.posthoc",
+        description="Audit an obs export bundle for invariant violations")
+    parser.add_argument("run_dir", help="directory holding manifest.json")
+    parser.add_argument("--span-grace", type=float, default=900.0,
+                        help="open non-root spans older than this are "
+                             "leaks (sim seconds, default 900)")
+    args = parser.parse_args(argv)
+    violations = audit_bundle(args.run_dir, span_grace=args.span_grace)
+    if not violations:
+        print(f"{args.run_dir}: clean")
+        return 0
+    print(f"{args.run_dir}: {len(violations)} violation(s)")
+    for v in violations:
+        print(f"  t={v.t:10.3f}  {v.kind:28s} {v.node:20s} {v.detail}")
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

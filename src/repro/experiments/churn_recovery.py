@@ -60,6 +60,8 @@ class ChurnResult:
     fault_log: list = field(default_factory=list)
     #: export manifest when the run was observed (``obs_dir`` given)
     obs_manifest: Optional[dict] = None
+    #: invariant-audit violations (``audit=True``); None = audit off
+    violations: Optional[list] = None
 
     @property
     def recovered(self) -> bool:
@@ -134,12 +136,18 @@ def _probe_multi_hop(sim: Simulator, nodes: list[BrunetNode],
 def run(seed: int = 0, n_nodes: int = 20, kill_fraction: float = 0.25,
         settle: float = 400.0, horizon: float = 600.0,
         sample_every: float = 5.0,
-        obs_dir: Optional[str] = None) -> ChurnResult:
+        obs_dir: Optional[str] = None,
+        audit: bool = False) -> ChurnResult:
     """One deterministic churn-recovery measurement.
 
     ``obs_dir`` — when given, causal span tracing and the flight recorder
     are enabled and the full observability bundle (metrics, spans, events,
     manifest) is exported there at the end of the run.
+
+    ``audit`` — run the invariant auditor inline (read-only, so the run's
+    trajectory is unchanged); violations land in
+    :attr:`ChurnResult.violations` and, with ``obs_dir``, in the bundle's
+    ``violations.jsonl``.
     """
     sim = Simulator(seed=seed, trace=False)
     if obs_dir is not None:
@@ -148,6 +156,11 @@ def run(seed: int = 0, n_nodes: int = 20, kill_fraction: float = 0.25,
         sim.obs.enable_recorder(
             capacity=256, spill_path=os.path.join(obs_dir, "events.jsonl"))
     internet, nodes, routers = _build_overlay(sim, n_nodes, BrunetConfig())
+    auditor = None
+    if audit:
+        from repro.check import Auditor
+        auditor = Auditor(sim, lambda: nodes, internet=internet,
+                          name="churn").start()
 
     # warm up to a fully routable overlay before injecting anything
     deadline = sim.now + settle
@@ -186,13 +199,14 @@ def run(seed: int = 0, n_nodes: int = 20, kill_fraction: float = 0.25,
             recovery_routes = elapsed
         if recovery_ring is not None and recovery_routes is not None:
             break
+    violations = auditor.finish() if auditor is not None else None
     manifest = (sim.obs.export(obs_dir, seed=seed)
                 if obs_dir is not None else None)
     return ChurnResult(seed=seed, n_nodes=n_nodes, n_killed=n_killed,
                        t_kill=t_kill, recovery_ring=recovery_ring,
                        recovery_routes=recovery_routes, series=series,
                        fault_log=list(faults.fired),
-                       obs_manifest=manifest)
+                       obs_manifest=manifest, violations=violations)
 
 
 def report(result: ChurnResult, csv_dir: Optional[str] = None) -> None:

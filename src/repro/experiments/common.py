@@ -17,6 +17,8 @@ class ExperimentSetup:
 
     sim: Simulator
     testbed: Testbed
+    #: inline invariant auditor (``make_testbed(audit=True)``), else None
+    auditor: Optional[object] = None
 
     @property
     def deployment(self):
@@ -26,17 +28,27 @@ class ExperimentSetup:
     def calib(self) -> CalibrationConfig:
         return self.testbed.deployment.calib
 
+    def finish_audit(self) -> list:
+        """Final audit sweep; returns all violations (empty when clean
+        or when auditing is off)."""
+        return self.auditor.finish() if self.auditor is not None else []
+
 
 def make_testbed(seed: int = 0, scale: float = 1.0,
                  shortcuts: bool = True,
                  trace: bool = False,
                  calib: Optional[CalibrationConfig] = None,
-                 settle: float = 120.0) -> ExperimentSetup:
+                 settle: float = 120.0,
+                 audit: bool = False) -> ExperimentSetup:
     """Build and warm up a testbed.
 
     ``scale`` shrinks the PlanetLab overlay (compute nodes stay at 33 —
     the paper's cluster size matters for the application results; only the
     bootstrap overlay is safely shrinkable).
+
+    ``audit`` attaches a read-only invariant auditor over the deployment's
+    current node population (joiner VMs included as they register); it
+    starts sweeping *after* warmup so bootstrap transients are not graded.
     """
     n_routers = max(12, int(round(118 * scale)))
     n_hosts = max(4, int(round(20 * scale)))
@@ -46,7 +58,13 @@ def make_testbed(seed: int = 0, scale: float = 1.0,
                                   n_planetlab_routers=n_routers,
                                   n_planetlab_hosts=n_hosts)
     testbed.run_warmup(settle=settle)
-    return ExperimentSetup(sim, testbed)
+    auditor = None
+    if audit:
+        from repro.check import Auditor
+        dep = testbed.deployment
+        auditor = Auditor(sim, lambda: list(dep.nodes_by_addr.values()),
+                          internet=dep.internet).start()
+    return ExperimentSetup(sim, testbed, auditor=auditor)
 
 
 def run_until_signal(sim: Simulator, signal, timeout: float) -> bool:

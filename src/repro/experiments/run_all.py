@@ -42,16 +42,36 @@ EXPERIMENTS = {
 }
 
 
+def _audit_verdict(name: str, violations: list) -> list:
+    if violations:
+        print(f"[audit] {name}: {len(violations)} invariant "
+              f"violation(s)")
+        for v in violations:
+            print(f"[audit]   t={v.t:10.3f}  {v.kind:28s} "
+                  f"{v.node:16s} {v.detail}")
+    else:
+        print(f"[audit] {name}: clean")
+    return violations
+
+
 def _run_one(name: str, full: bool, seed: int, scale: float,
              csv_dir: str | None = None,
-             metrics_out: str | None = None) -> None:
+             metrics_out: str | None = None,
+             audit: bool = False) -> list:
+    """Run one experiment; returns invariant violations (``--audit``)."""
     t0 = time.time()
+    violations: list = []
     if name == "fig4":
+        from repro.experiments.common import make_testbed
+        setup = (make_testbed(seed=seed, scale=scale, audit=True)
+                 if audit else None)
         profiles = fig4_join_profile.run(
             seed=seed, scale=scale, trials_per_case=10 if full else 3,
-            count=400 if full else 300)
+            count=400 if full else 300, setup=setup)
         fig4_join_profile.report(profiles, csv_dir=csv_dir)
         fig5_regimes.report(fig5_regimes.summarize(profiles))
+        if setup is not None:
+            violations = _audit_verdict(name, setup.finish_audit())
     elif name == "fig5":
         fig5_regimes.main(seed=seed, scale=scale,
                           trials=10 if full else 3)
@@ -95,13 +115,17 @@ def _run_one(name: str, full: bool, seed: int, scale: float,
         result = churn_recovery.run(seed=seed,
                                     n_nodes=40 if full else 20,
                                     kill_fraction=0.25,
-                                    obs_dir=metrics_out)
+                                    obs_dir=metrics_out,
+                                    audit=audit)
         churn_recovery.report(result, csv_dir=csv_dir)
         if metrics_out:
             print(f"[obs] export bundle in {metrics_out}/")
+        if audit:
+            violations = _audit_verdict(name, result.violations or [])
     else:
         raise SystemExit(f"unknown experiment {name!r}")
     print(f"[{name} finished in {time.time() - t0:.0f}s wall]")
+    return violations
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -123,6 +147,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="export the observability bundle (metrics, "
                              "spans, flight-recorder events) into DIR; "
                              "currently wired into the churn experiment")
+    parser.add_argument("--audit", action="store_true",
+                        help="run the invariant auditor inline (fig4 and "
+                             "churn); exit 1 if any violation is found")
     parser.add_argument("--profile", action="store_true",
                         help="run under cProfile and print the top-20 "
                              "functions by cumulative time")
@@ -136,10 +163,14 @@ def main(argv: list[str] | None = None) -> int:
     scale = args.scale if args.scale is not None else \
         (1.0 if args.full else 0.5)
 
+    all_violations: list = []
+
     def run_selected() -> None:
         for name in names:
-            _run_one(name, args.full, args.seed, scale, csv_dir=args.csv_dir,
-                     metrics_out=args.metrics_out)
+            all_violations.extend(
+                _run_one(name, args.full, args.seed, scale,
+                         csv_dir=args.csv_dir,
+                         metrics_out=args.metrics_out, audit=args.audit))
 
     if args.profile:
         import cProfile
@@ -150,6 +181,10 @@ def main(argv: list[str] | None = None) -> int:
         stats.sort_stats("cumulative").print_stats(20)
     else:
         run_selected()
+    if all_violations:
+        print(f"[audit] FAILED: {len(all_violations)} invariant "
+              f"violation(s) across the selected experiments")
+        return 1
     return 0
 
 

@@ -14,6 +14,7 @@ inspector CLI (``python -m repro.obs.inspect``)::
     <dir>/metrics.csv     the same, flattened
     <dir>/spans.jsonl     one JSON object per span (when spans enabled)
     <dir>/events.jsonl    flight-recorder spill (when recorder enabled)
+    <dir>/violations.jsonl  invariant-audit findings (when auditing)
     <dir>/manifest.json   seed/time/trace-id index
 
 All exported values derive from simulation state only, so a fixed seed
@@ -40,13 +41,15 @@ DEFAULT_SAMPLE = {"ip": 1, "ctm": 1}
 class Observability:
     """Metrics + spans + flight recorder for one simulator."""
 
-    __slots__ = ("sim", "metrics", "spans", "recorder")
+    __slots__ = ("sim", "metrics", "spans", "recorder", "auditor")
 
     def __init__(self, sim: "Simulator", metrics: bool = True):
         self.sim = sim
         self.metrics = MetricsRegistry(enabled=metrics)
         self.spans = SpanCollector(enabled=False)
         self.recorder: Optional[FlightRecorder] = None
+        # invariant auditor (repro.check); registers itself when created
+        self.auditor = None
         if metrics:
             self.metrics.add_collector(self._collect_sim)
 
@@ -102,6 +105,7 @@ class Observability:
             path = self.spans.export_jsonl(
                 os.path.join(out_dir, "spans.jsonl"))
             manifest["files"]["spans"] = os.path.basename(path)
+            manifest["spans_dropped"] = self.spans.dropped
             for tid in self.spans.trace_ids():
                 root = self.spans.roots.get(tid)
                 root_span = next((s for s in self.spans.spans
@@ -121,6 +125,11 @@ class Observability:
             if self.recorder.spill_path:
                 manifest["files"]["events"] = os.path.basename(
                     self.recorder.spill_path)
+        if self.auditor is not None:
+            path = self.auditor.export_jsonl(
+                os.path.join(out_dir, "violations.jsonl"))
+            manifest["files"]["violations"] = os.path.basename(path)
+            manifest["audit"] = self.auditor.summary()
         with open(os.path.join(out_dir, "manifest.json"), "w") as fh:
             json.dump(manifest, fh, sort_keys=True, indent=1)
             fh.write("\n")

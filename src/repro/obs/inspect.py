@@ -10,7 +10,9 @@ and renders:
 * ``--routes``  — the slowest traced virtual-IP routes;
 * ``--traces``  — the trace index (one line per recorded trace);
 * ``--trace ID`` — the full span tree of one trace: a traced packet shows
-  its hop-by-hop timeline, a traced CTM its handshake with back-off.
+  its hop-by-hop timeline, a traced CTM its handshake with back-off;
+* ``--violations`` — invariant-audit findings recorded by
+  ``repro.check`` when the run was executed with auditing on.
 
 With no selector everything above is printed in order.  All output derives
 from the export files alone, so inspection is reproducible offline.
@@ -67,6 +69,11 @@ def load_spans(run_dir: str) -> list[Span]:
 def load_events(run_dir: str) -> list[dict]:
     """Flight-recorder events from ``events.jsonl`` (may be empty)."""
     return _load_jsonl(os.path.join(run_dir, "events.jsonl"))
+
+
+def load_violations(run_dir: str) -> list[dict]:
+    """Invariant-audit findings from ``violations.jsonl`` (may be empty)."""
+    return _load_jsonl(os.path.join(run_dir, "violations.jsonl"))
 
 
 # ---------------------------------------------------------------------------
@@ -196,6 +203,27 @@ def render_traces(manifest: dict, out=None) -> None:
            rows, out)
 
 
+def render_violations(violations: list[dict], manifest: dict,
+                      out=None) -> None:
+    """Invariant-audit findings, one row per violation."""
+    audit = manifest.get("audit")
+    if not violations:
+        if audit is not None:
+            print(f"invariant audit: clean "
+                  f"({audit.get('sweeps', '?')} sweeps)", file=out)
+        else:
+            print("no invariant audit in this export "
+                  "(run with auditing on)", file=out)
+        return
+    print(f"invariant audit: {len(violations)} violation(s)"
+          + (f" over {audit.get('sweeps', '?')} sweeps"
+             if audit is not None else ""), file=out)
+    rows = [[f"{v.get('t', 0):.3f}", v.get("check", "?"),
+             v.get("kind", "?"), v.get("node") or "-",
+             v.get("detail", "")] for v in violations]
+    _table(["t", "check", "kind", "node", "detail"], rows, out)
+
+
 def render_trace(spans: list[Span], trace_id: int,
                  out=None) -> bool:
     """One trace as an indented span tree; False when it's unknown."""
@@ -238,6 +266,8 @@ def main(argv: Optional[list[str]] = None) -> int:
                         help="list every recorded trace")
     parser.add_argument("--trace", type=int, metavar="ID",
                         help="render the span tree of one trace")
+    parser.add_argument("--violations", action="store_true",
+                        help="invariant-audit findings")
     parser.add_argument("--top", type=int, default=10,
                         help="rows for --routes (default 10)")
     parser.add_argument("--buckets", type=int, default=12,
@@ -251,9 +281,10 @@ def main(argv: Optional[list[str]] = None) -> int:
     metrics = load_metrics(args.run_dir)
     spans = load_spans(args.run_dir)
     events = load_events(args.run_dir)
+    violations = load_violations(args.run_dir)
 
     selected = any((args.nodes, args.census, args.routes, args.traces,
-                    args.trace is not None))
+                    args.violations, args.trace is not None))
     ok = True
     if manifest and (not selected or args.trace is None):
         print(f"run export: seed={manifest.get('seed')} "
@@ -271,6 +302,9 @@ def main(argv: Optional[list[str]] = None) -> int:
         print()
     if args.traces or not selected:
         render_traces(manifest)
+        print()
+    if args.violations or (not selected and "audit" in manifest):
+        render_violations(violations, manifest)
         print()
     if args.trace is not None:
         ok = render_trace(spans, args.trace)

@@ -113,6 +113,16 @@ class SimTransport(Transport):
             msg = codec.decode(dgram.payload)
         except codec.DecodeError:
             self._m_decode_err.inc()
+            if dgram.trace is not None:
+                # terminate the causal chain here: without this the traced
+                # packet's last span stays the physical transit and the
+                # post-hoc span tree ends in a dangling branch with no
+                # explanation of where the packet went
+                spans = self.sim.obs.spans
+                spans.hop(dgram.trace, "wire.decode_drop", self.name,
+                          self.sim.now, bytes=len(dgram.payload))
+                spans.end_trace(dgram.trace.trace_id, self.sim.now,
+                                decode_error=True)
             return
         self._m_rx_bytes.inc(len(dgram.payload))
         if dgram.trace is not None and getattr(msg, "trace", None) is not None:

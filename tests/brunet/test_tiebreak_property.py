@@ -1,0 +1,82 @@
+"""Routing/table decisions must not depend on table insertion order.
+
+Two peers can sit exactly equidistant from a destination (one on each
+side of the ring); before the address tie-break, ``closest_to`` and
+``next_hop`` returned whichever happened to be inserted first — making
+same-topology overlays route differently depending on join history.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.brunet.address import ADDRESS_SPACE, BrunetAddress
+from repro.brunet.connection import Connection, ConnectionType
+from repro.brunet.routing import _next_hop_scan
+from repro.brunet.table import ConnectionTable
+from repro.phys.endpoints import Endpoint
+
+ME = BrunetAddress(0)
+
+
+def _table(addrs, order):
+    table = ConnectionTable(ME)
+    for i in order:
+        table.add(Connection(BrunetAddress(addrs[i]),
+                             Endpoint("1.1.1.1", i + 1),
+                             ConnectionType.STRUCTURED_NEAR, 0.0))
+    return table
+
+
+addr_sets = st.lists(
+    st.integers(min_value=1, max_value=ADDRESS_SPACE - 1),
+    min_size=1, max_size=8, unique=True)
+
+
+@given(addrs=addr_sets, dest=st.integers(0, ADDRESS_SPACE - 1),
+       data=st.data())
+@settings(max_examples=150, deadline=None)
+def test_decisions_are_insertion_order_invariant(addrs, dest, data):
+    order = data.draw(st.permutations(range(len(addrs))))
+    fwd = _table(addrs, range(len(addrs)))
+    shuffled = _table(addrs, order)
+    dest = BrunetAddress(dest)
+
+    a, b = fwd.closest_to(dest), shuffled.closest_to(dest)
+    assert (a is None) == (b is None)
+    if a is not None:
+        assert a.peer_addr == b.peer_addr
+
+    for approach in (None, "left", "right"):
+        a = _next_hop_scan(fwd, ME, dest, approach=approach)
+        b = _next_hop_scan(shuffled, ME, dest, approach=approach)
+        assert (a is None) == (b is None), approach
+        if a is not None:
+            assert a.peer_addr == b.peer_addr, approach
+
+    for side in ("right_neighbor", "left_neighbor"):
+        a, b = getattr(fwd, side)(), getattr(shuffled, side)()
+        assert a.peer_addr == b.peer_addr, side
+
+
+def test_equidistant_peers_tie_break_to_lower_address():
+    dest = BrunetAddress(100)
+    for order in ((90, 110), (110, 90)):
+        table = _table(order, range(2))
+        assert table.closest_to(dest).peer_addr == BrunetAddress(90)
+        hop = _next_hop_scan(table, ME, dest)
+        assert hop is not None and hop.peer_addr == BrunetAddress(90)
+
+
+def test_equidistant_wrap_around_tie():
+    """The tie pair straddling 0: dest 0, peers at ±40."""
+    dest = BrunetAddress(0)
+    lo, hi = 40, ADDRESS_SPACE - 40
+    me = BrunetAddress(1000)
+    for order in ((lo, hi), (hi, lo)):
+        table = ConnectionTable(me)
+        for i, a in enumerate(order):
+            table.add(Connection(BrunetAddress(a), Endpoint("1.1.1.1", i + 1),
+                                 ConnectionType.STRUCTURED_NEAR, 0.0))
+        assert table.closest_to(dest).peer_addr == BrunetAddress(lo)

@@ -1,0 +1,60 @@
+"""End-to-end: audited churn run → clean verdict → bundle → inspector."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.check import audit_bundle
+from repro.experiments import churn_recovery
+from repro.obs import inspect as inspect_cli
+
+RUN_KW = dict(seed=3, n_nodes=10, kill_fraction=0.2,
+              settle=200.0, horizon=300.0)
+
+
+@pytest.fixture(scope="module")
+def audited(tmp_path_factory):
+    out = str(tmp_path_factory.mktemp("audit") / "run")
+    result = churn_recovery.run(obs_dir=out, audit=True, **RUN_KW)
+    return out, result
+
+
+def test_audited_churn_run_is_clean(audited):
+    _out, result = audited
+    assert result.recovered
+    assert result.violations == []
+
+
+def test_bundle_carries_the_audit(audited):
+    out, _result = audited
+    assert os.path.exists(os.path.join(out, "violations.jsonl"))
+    manifest = json.load(open(os.path.join(out, "manifest.json")))
+    assert manifest["files"]["violations"] == "violations.jsonl"
+    assert manifest["audit"]["violations"] == 0
+    assert manifest["audit"]["sweeps"] > 0
+
+
+def test_inspector_renders_the_audit_verdict(audited, capsys):
+    out, _result = audited
+    assert inspect_cli.main([out, "--violations"]) == 0
+    captured = capsys.readouterr().out
+    assert "invariant audit: clean" in captured
+
+
+def test_posthoc_audit_of_the_bundle_is_clean(audited):
+    out, _result = audited
+    assert audit_bundle(out) == []
+
+
+def test_auditing_does_not_perturb_the_run(audited, tmp_path):
+    """The auditor is read-only: the same seed with auditing off must
+    produce the identical recovery trajectory.  (``obs_dir`` stays on in
+    both runs — the observed run sends an extra probe ping.)"""
+    _out, with_audit = audited
+    plain = churn_recovery.run(obs_dir=str(tmp_path / "plain"), **RUN_KW)
+    assert plain.series == with_audit.series
+    assert plain.recovery_ring == with_audit.recovery_ring
+    assert plain.recovery_routes == with_audit.recovery_routes

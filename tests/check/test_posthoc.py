@@ -1,0 +1,136 @@
+"""Post-hoc bundle audit: real exports audit clean, corrupted ones fail."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.check import audit_bundle
+from repro.check.posthoc import main as posthoc_main
+from tests.conftest import build_overlay
+
+
+def _write_jsonl(path, rows):
+    with open(path, "w") as fh:
+        for row in rows:
+            fh.write(json.dumps(row) + "\n")
+
+
+def _write_bundle(tmp_path, manifest_extra=None, spans=None, events=None,
+                  violations=None):
+    """A minimal synthetic bundle (manifest + whatever files are given)."""
+    files = {}
+    if spans is not None:
+        _write_jsonl(tmp_path / "spans.jsonl", spans)
+        files["spans"] = "spans.jsonl"
+    if events is not None:
+        _write_jsonl(tmp_path / "events.jsonl", events)
+        files["events"] = "events.jsonl"
+    if violations is not None:
+        _write_jsonl(tmp_path / "violations.jsonl", violations)
+        files["violations"] = "violations.jsonl"
+    manifest = {"seed": 0, "sim_time": 2000.0, "files": files,
+                "spans_dropped": 0}
+    manifest.update(manifest_extra or {})
+    with open(tmp_path / "manifest.json", "w") as fh:
+        json.dump(manifest, fh)
+    return str(tmp_path)
+
+
+def test_real_export_audits_clean(sim, internet, tmp_path):
+    sim.obs.enable_spans()
+    sim.obs.enable_recorder(
+        capacity=64, spill_path=str(tmp_path / "events.jsonl"))
+    build_overlay(sim, internet, 6)
+    sim.obs.export(str(tmp_path), seed=1234)
+    assert audit_bundle(str(tmp_path)) == []
+
+
+def test_missing_manifest_is_flagged(tmp_path):
+    found = audit_bundle(str(tmp_path))
+    assert [v.kind for v in found] == ["bundle.no-manifest"]
+
+
+def test_missing_referenced_file_is_flagged(sim, internet, tmp_path):
+    sim.obs.enable_spans()
+    build_overlay(sim, internet, 4)
+    sim.obs.export(str(tmp_path), seed=1234)
+    os.remove(tmp_path / "spans.jsonl")
+    found = audit_bundle(str(tmp_path))
+    assert "bundle.missing-file:spans" in {v.key for v in found}
+
+
+def test_corrupt_jsonl_is_flagged(tmp_path):
+    run_dir = _write_bundle(tmp_path, spans=[])
+    with open(tmp_path / "spans.jsonl", "w") as fh:
+        fh.write("{not json\n")
+    found = audit_bundle(run_dir)
+    assert "bundle.corrupt-file:spans" in {v.key for v in found}
+
+
+def test_dangling_parent_is_flagged(tmp_path):
+    run_dir = _write_bundle(tmp_path, spans=[
+        {"id": 1, "trace": 7, "parent": None, "name": "ip.packet",
+         "node": "n0", "t0": 1.0, "t1": 2.0},
+        {"id": 2, "trace": 7, "parent": 99, "name": "route.hop",
+         "node": "n1", "t0": 1.5, "t1": 1.5},
+    ])
+    found = audit_bundle(run_dir)
+    assert "span.dangling-parent:2" in {v.key for v in found}
+
+
+def test_dangling_parent_suppressed_when_spans_dropped(tmp_path):
+    run_dir = _write_bundle(tmp_path, manifest_extra={"spans_dropped": 5},
+                            spans=[
+        {"id": 2, "trace": 7, "parent": 99, "name": "route.hop",
+         "node": "n1", "t0": 1.5, "t1": 1.5},
+    ])
+    assert audit_bundle(run_dir) == []
+
+
+def test_open_non_root_span_is_flagged(tmp_path):
+    run_dir = _write_bundle(tmp_path, spans=[
+        {"id": 1, "trace": 7, "parent": None, "name": "ip.packet",
+         "node": "n0", "t0": 1.0, "t1": None},       # open root: legal
+        {"id": 2, "trace": 7, "parent": 1, "name": "link.attempt",
+         "node": "n1", "t0": 5.0, "t1": None},       # open child: leak
+    ])
+    found = audit_bundle(run_dir)
+    assert {v.key for v in found} == {"span.dangling:2"}
+
+
+def test_conn_drop_excess_is_flagged(tmp_path):
+    run_dir = _write_bundle(tmp_path, events=[
+        {"t": 1.0, "node": "n0", "category": "conn.add", "data": {}},
+        {"t": 2.0, "node": "n0", "category": "conn.drop", "data": {}},
+        {"t": 3.0, "node": "n0", "category": "conn.drop", "data": {}},
+    ])
+    found = audit_bundle(run_dir)
+    assert "bundle.conn-balance:n0" in {v.key for v in found}
+
+
+def test_recorded_violations_fail_the_bundle(tmp_path):
+    run_dir = _write_bundle(tmp_path, violations=[
+        {"t": 10.0, "check": "ring", "kind": "ring.partition", "node": "",
+         "key": "ring.partition", "detail": "overlay split"},
+    ])
+    found = audit_bundle(run_dir)
+    assert "ring.partition" in {v.kind for v in found}
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    clean = tmp_path / "clean"
+    clean.mkdir()
+    _write_bundle(clean, spans=[])
+    assert posthoc_main([str(clean)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+    dirty = tmp_path / "dirty"
+    dirty.mkdir()
+    _write_bundle(dirty, violations=[
+        {"t": 1.0, "check": "ring", "kind": "ring.partition", "node": "",
+         "key": "ring.partition", "detail": "split"}])
+    assert posthoc_main([str(dirty)]) == 1
+    assert "violation" in capsys.readouterr().out
