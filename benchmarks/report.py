@@ -176,6 +176,18 @@ def bench_wire_decode() -> float:
     return n / (time.perf_counter() - t0)
 
 
+def bench_wire_peek() -> float:
+    """Header-only peek throughput — the transit-forwarding fast path
+    (a router touches src/dest/ttl, never the payload)."""
+    from repro.wire import encode, peek_header
+    bufs = [encode(m) for m in _wire_sample_messages()]
+    n = 20_000
+    t0 = time.perf_counter()
+    for i in range(n):
+        peek_header(bufs[i & 3])
+    return n / (time.perf_counter() - t0)
+
+
 def bench_scaling(n_nodes: int) -> float:
     from repro.experiments import scaling
     t0 = time.perf_counter()
@@ -209,6 +221,7 @@ def run_benches(smoke: bool) -> dict:
         "flow_churn_ops_per_s": bench_flow_churn(),
         "wire_encode_ops_per_s": bench_wire_encode(),
         "wire_decode_ops_per_s": bench_wire_decode(),
+        "wire_peek_ops_per_s": bench_wire_peek(),
     }
     experiments = {"scaling_64_s": bench_scaling(64)}
     if not smoke:
@@ -240,9 +253,24 @@ def _normalized(report: dict) -> dict[str, float]:
     return out
 
 
+#: pinned minimum normalized ratios (metric / calibration loop).  Unlike
+#: the relative tolerance check — which compares against the *last
+#: committed* numbers and therefore lets performance erode a few percent
+#: per PR — these floors are absolute: the hot-path speedups this
+#: substrate was tuned for (10× wire encode/decode, 10× flow churn) may
+#: never regress below them, on any machine, regardless of what the
+#: committed JSON says.
+RATIO_FLOORS = {
+    "wire_encode_ops_per_s": 0.130,   # ≥10× the pre-codec-v2 275k baseline
+    "wire_decode_ops_per_s": 0.055,   # ≥10× the pre-codec-v2 90k baseline
+    "wire_peek_ops_per_s": 0.030,     # header-only transit fast path
+    "flow_churn_ops_per_s": 6.0e-4,   # ≥10× the component-solver 1.3k
+}
+
+
 def check(fresh: dict, committed: dict, tolerance: float) -> list[str]:
     """Regressions (normalized slowdown beyond ``tolerance``) in metrics
-    present in both reports."""
+    present in both reports, plus violations of the pinned floors."""
     fresh_n = _normalized(fresh)
     committed_n = _normalized(committed)
     failures = []
@@ -255,6 +283,11 @@ def check(fresh: dict, committed: dict, tolerance: float) -> list[str]:
                 f"{name}: normalized {now:.4g} vs committed {base:.4g} "
                 f"({(1 - now / base) * 100:.0f}% regression, "
                 f"tolerance {tolerance * 100:.0f}%)")
+    for name, floor in RATIO_FLOORS.items():
+        now = fresh_n.get(name)
+        if now is not None and now < floor:
+            failures.append(
+                f"{name}: normalized {now:.4g} below pinned floor {floor:.4g}")
     return failures
 
 

@@ -32,6 +32,7 @@ from repro.brunet.messages import (
 from repro.brunet.routing import next_hop
 from repro.brunet.table import ConnectionTable
 from repro.brunet.uri import Uri, UriSet
+from repro import wire
 from repro.obs.spans import TraceRef
 from repro.phys.endpoints import Endpoint
 
@@ -105,6 +106,10 @@ class BrunetNode:
                                             node=self.name)
         self._m_hops = metrics.histogram("brunet.route.hops",
                                          node=self.name)
+        # a lazily-decoded payload that turns out malformed at delivery is
+        # the same failure as a transport-level decode error
+        self._m_decode_err = metrics.counter("wire.decode_error",
+                                             node=self.name)
         metrics.gauge_fn("brunet.connections", lambda: len(self.table),
                          node=self.name)
 
@@ -324,6 +329,22 @@ class BrunetNode:
 
     def _deliver(self, pkt: RoutedPacket) -> None:
         payload = pkt.payload
+        if type(payload) is wire.RawBody:
+            # codec mode deferred the body decode across transit hops;
+            # pay it exactly once, here, at local delivery
+            try:
+                payload = wire.materialize(payload)
+            except wire.DecodeError:
+                self.stats["body_decode_drop"] += 1
+                self._m_decode_err.inc()
+                if pkt.trace is not None:
+                    spans = self.sim.obs.spans
+                    spans.hop(pkt.trace, "wire.decode_drop", self.name,
+                              self.sim.now, hops=pkt.hops)
+                    spans.end_trace(pkt.trace.trace_id, self.sim.now,
+                                    decode_error=True)
+                return
+            pkt.payload = payload
         self.stats["delivered"] += 1
         self._m_delivered.inc()
         self._m_hops.observe(pkt.hops)

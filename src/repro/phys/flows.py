@@ -4,24 +4,39 @@ Simulating a 720 MB SCP transfer packet-by-packet would need ~10⁶ events;
 instead, bulk transfers are *flows* that progress continuously at a rate
 determined by progressive filling (max-min fairness) over the capacity
 resources along their path.  Rates are recomputed whenever the flow set or
-any path changes; between recomputations progress is linear, so the manager
-integrates exactly.
+any path changes; between recomputations progress is linear, so it can be
+integrated exactly — and lazily: each flow carries ``(_base, _sync_t)``
+and materializes ``transferred`` on read, so a mutation only touches the
+flows whose rates actually change, never the whole population.
 
 Per-flow rate caps (e.g. a TCP window/RTT bound) are modelled as a private
 :class:`Resource` appended to the path — this keeps the fairness computation
 uniform and correct.
 
-Rate recomputation is incremental: a mutation (flow add/remove/re-path,
-pause/resume, capacity change) marks the touched resources dirty, and the
-manager recomputes only the *connected component* of the resource/flow
-sharing graph reachable from the dirty set — flows that share nothing with
-the change keep their rates.  Mutations made inside an event are coalesced:
-the first one schedules a single flush at the current timestamp with a
-priority below every ordinary event, so a burst of changes (a transfer
-re-pathing across several resources, a batch of job arrivals) pays for one
-recomputation, and every event at a later timestamp still observes fresh
-rates.  Mutations made outside event context recompute synchronously, so
-direct driving of the manager (tests, setup code) keeps eager semantics.
+Rate recomputation is incremental per affected *bottleneck*: a mutation
+(flow add/remove/re-path, pause/resume, capacity change) marks the touched
+resources dirty, and the solver water-fills only the flows crossing those
+resources.  Where a re-rated flow also crosses a resource outside the dirty
+set, that resource enters the fill with its residual capacity (capacity
+minus the load of its untouched flows) and the untouched flows are checked
+afterwards against the max-min optimality certificate — a flow is *happy*
+iff some resource on its path is saturated and carries no faster flow.  An
+unhappy flow pulls its whole path into scope and the fill repeats; the
+fixpoint expands at most to the connected component, but in the common case
+(disjoint bottlenecks, fig8-style job churn) it never leaves the dirty
+links.  Saturation state (load, max rate) is cached per resource and
+invalidated only for resources whose flow set or rates changed.
+
+Mutations made inside an event are coalesced: the first one schedules a
+single flush at the current timestamp with a priority below every ordinary
+event, so a burst of changes pays for one recomputation and every event at
+a later timestamp still observes fresh rates.  Mutations made outside event
+context recompute synchronously, so direct driving of the manager (tests,
+setup code) keeps eager semantics.
+
+Completions are driven by a lazily-invalidated min-heap of estimated
+finish times (one entry per rate assignment, stale entries skipped by
+generation counter) instead of an O(flows) scan per flush.
 
 The overlay layer maps an overlay route onto resources: each traversed
 IPOP router contributes its user-level forwarding capacity and each WAN
@@ -32,6 +47,7 @@ migration) is ``flow.set_path(...)`` — exactly what Figs. 6–8 exercise.
 
 from __future__ import annotations
 
+import heapq
 import math
 from typing import TYPE_CHECKING, Callable, Iterable, Optional
 
@@ -80,6 +96,12 @@ class Flow:
 
     ``done`` is a latched signal fired with the completion time.  ``paused``
     flows hold their progress at rate 0 (used across migration outages).
+
+    Progress is integrated lazily: ``_base`` bytes were transferred as of
+    ``_sync_t``, and the current rate extends that linearly, so
+    :attr:`transferred` is exact at any read without a manager pass.
+    ``progress_log`` gains a point at every rate transition — progress is
+    linear in between, so interpolation over the log stays exact.
     """
 
     def __init__(self, manager: "FlowManager", name: str, size: float,
@@ -90,19 +112,57 @@ class Flow:
         self.manager = manager
         self.name = name
         self.size = float(size)
-        self.transferred = 0.0
         self.rate = 0.0
         self.paused = False
         self.completed = False
         self.start_time = manager.sim.now
         self.finish_time: Optional[float] = None
         self.on_complete = on_complete
-        self.done = Signal(manager.sim, f"flow.{name}.done", latch=True)
+        self._done: Optional[Signal] = None
         self.progress_log: list[tuple[float, float]] = [(self.start_time, 0.0)]
+        self._base = 0.0          # bytes transferred as of _sync_t
+        self._sync_t = self.start_time
+        self._gen = 0             # bumped on every rate assignment
         self._cap_resource: Optional[Resource] = None
         self.path: list[Resource] = []
         self._set_path_internal(path, rate_cap)
         manager.add(self)
+
+    @property
+    def done(self) -> Signal:
+        """Latched completion signal (created on first use — most flows in
+        large churn scenarios are cancelled without anyone awaiting them)."""
+        if self._done is None:
+            self._done = Signal(self.manager.sim, f"flow.{self.name}.done",
+                                latch=True)
+        return self._done
+
+    # -- progress ----------------------------------------------------------
+    @property
+    def transferred(self) -> float:
+        """Bytes transferred so far (exact, lazily integrated)."""
+        if self.rate > 0.0 and not self.completed:
+            now = self.manager.sim.now
+            if now > self._sync_t:
+                return min(self.size,
+                           self._base + self.rate * (now - self._sync_t))
+        return self._base
+
+    def _sync(self, now: float) -> None:
+        """Materialize linear progress up to ``now`` at the current rate.
+
+        Called before every rate change so ``progress_log`` records the
+        piecewise-linear trajectory exactly at its breakpoints.
+        """
+        if self.rate > 0.0 and now > self._sync_t and not self.completed:
+            self._base = min(self.size,
+                             self._base + self.rate * (now - self._sync_t))
+            self._sync_t = now
+            log = self.progress_log
+            if log[-1][0] != now or log[-1][1] != self._base:
+                log.append((now, self._base))
+        else:
+            self._sync_t = now
 
     # -- path management --------------------------------------------------
     def _set_path_internal(self, path: Iterable[Resource],
@@ -123,7 +183,6 @@ class Flow:
         """Re-route the flow (keeps transferred bytes)."""
         if self.completed:
             return
-        self.manager.advance()
         old_path = list(self.path)
         if rate_cap is not None and self._cap_resource is not None:
             self._cap_resource.capacity = rate_cap
@@ -134,7 +193,6 @@ class Flow:
     def set_rate_cap(self, rate_cap: float) -> None:
         """Install/update a per-flow rate ceiling (e.g. window/RTT)."""
         if self._cap_resource is None:
-            self.manager.advance()
             self._set_path_internal(self.path, rate_cap)
             self.manager.request_recompute(self.path)
         else:
@@ -143,13 +201,13 @@ class Flow:
     # -- control ----------------------------------------------------------
     def _log_point(self) -> None:
         now = self.manager.sim.now
-        if self.progress_log[-1] != (now, self.transferred):
-            self.progress_log.append((now, self.transferred))
+        if self.progress_log[-1] != (now, self._base):
+            self.progress_log.append((now, self._base))
 
     def pause(self) -> None:
         """Freeze progress at rate 0 (e.g. across a migration outage)."""
         if not self.paused and not self.completed:
-            self.manager.advance()
+            self._sync(self.manager.sim.now)
             self.paused = True
             self._log_point()
             self.manager.request_recompute(self.path)
@@ -157,7 +215,6 @@ class Flow:
     def resume(self) -> None:
         """Undo :meth:`pause`; rates are recomputed immediately."""
         if self.paused and not self.completed:
-            self.manager.advance()
             self.paused = False
             self._log_point()
             self.manager.request_recompute(self.path)
@@ -177,11 +234,19 @@ class Flow:
         """Average achieved rate over [t0, t1] from the progress log."""
         log = self.progress_log
         t0 = log[0][0] if t0 is None else t0
-        t1 = log[-1][0] if t1 is None else t1
+        if t1 is None:
+            t1 = (self.manager.sim.now
+                  if self.rate > 0.0 and not self.completed else log[-1][0])
         if t1 <= t0:
             return 0.0
 
         def bytes_at(t: float) -> float:
+            if t >= log[-1][0]:
+                # past the last breakpoint: extend the live linear segment
+                if self.rate > 0.0 and not self.completed and t >= self._sync_t:
+                    return min(self.size,
+                               self._base + self.rate * (t - self._sync_t))
+                return log[-1][1]
             prev_t, prev_b = log[0]
             for lt, lb in log:
                 if lt > t:
@@ -205,61 +270,77 @@ class FlowManager:
     def __init__(self, sim: "Simulator"):
         self.sim = sim
         self.flows: set[Flow] = set()
-        self._last_advance = sim.now
         self._next_event: Optional["Event"] = None
+        self._next_at = math.inf
         self.completed_count = 0
         self._dirty: set[Resource] = set()
         self._full = False
+        self._flushing = False
         self._flush_event: Optional["Event"] = None
-        #: observability: how many recomputations ran, and how many of
-        #: those were scoped to a component rather than the whole flow set
+        #: completion heap: (est_finish, seq, flow_gen, flow); entries go
+        #: stale when the flow's rate changes (gen mismatch) and are
+        #: skipped lazily instead of re-scanning every flow per flush
+        self._heap: list[tuple[float, int, int, Flow]] = []
+        self._seq = 0
+        #: per-resource saturation state (load, max flow rate), invalidated
+        #: for exactly the resources a recomputation touches and refilled
+        #: on demand by the optimality check
+        self._res_state: dict[Resource, tuple[float, float]] = {}
+        #: observability: how many recomputations ran, how many of those
+        #: were scoped rather than global, and how many water-filling
+        #: passes the bottleneck-scoped fixpoint performed in total
         self.full_recomputes = 0
         self.scoped_recomputes = 0
+        self.bottleneck_recomputes = 0
 
     # -- flow set ----------------------------------------------------------
     def add(self, flow: Flow) -> None:
         """Admit a flow and rebalance rates."""
-        self.advance()
         self.flows.add(flow)
         self.request_recompute(flow.path)
 
     def remove(self, flow: Flow) -> None:
         """Withdraw a flow (without completing it) and rebalance."""
-        self.advance()
+        flow._sync(self.sim.now)
         self.flows.discard(flow)
         flow.rate = 0.0
-        released = list(flow.path)
-        for r in released:
+        flow._gen += 1
+        state = self._res_state
+        for r in flow.path:
             r.flows.discard(flow)
-        self.request_recompute(released)
+            if state:
+                state.pop(r, None)
+        self.request_recompute(flow.path)
 
     # -- integration --------------------------------------------------------
     def advance(self) -> None:
-        """Accrue linear progress since the last rate computation."""
+        """Materialize every flow's progress and complete the due ones.
+
+        Rate reads and :attr:`Flow.transferred` are exact without calling
+        this; it exists for callers that want completions detected at a
+        specific instant rather than at the scheduled completion event.
+        """
         now = self.sim.now
-        dt = now - self._last_advance
-        if dt <= 0:
-            self._last_advance = now
-            return
         finished: list[Flow] = []
         for f in self.flows:
-            if f.rate > 0:
-                f.transferred = min(f.size, f.transferred + f.rate * dt)
-                f.progress_log.append((now, f.transferred))
-                if f.remaining <= _EPS:
+            if f.rate > 0.0:
+                f._sync(now)
+                if f.size - f._base <= _EPS:
                     finished.append(f)
-        self._last_advance = now
         for f in finished:
             self._complete(f)
 
     def _complete(self, flow: Flow) -> None:
+        flow._sync(self.sim.now)
         flow.completed = True
         flow.finish_time = self.sim.now
         flow.rate = 0.0
+        flow._gen += 1
         self.flows.discard(flow)
         self._dirty.update(flow.path)  # released capacity rebalances peers
         for r in flow.path:
             r.flows.discard(flow)
+            self._res_state.pop(r, None)
         self.completed_count += 1
         self.sim.trace("flow.complete", name=flow.name,
                        duration=flow.finish_time - flow.start_time,
@@ -285,7 +366,7 @@ class FlowManager:
         else:
             self._dirty.update(resources)
         if self.sim.executing:
-            if self._flush_event is None:
+            if self._flush_event is None and not self._flushing:
                 self._flush_event = self.sim.schedule(
                     0.0, self._on_flush_event, priority=_FLUSH_PRIORITY)
             return
@@ -301,89 +382,280 @@ class FlowManager:
         self._flush()
 
     def _flush(self) -> None:
-        """Drain the dirty set: integrate progress, then recompute the
-        affected component(s) and reschedule the next completion event."""
+        """Drain the dirty set: solve the affected bottleneck scope(s) and
+        reschedule the next completion event.  Re-entrant requests (e.g. an
+        ``on_complete`` callback admitting a new flow) only widen the dirty
+        set; the running drain loop picks them up."""
+        if self._flushing:
+            return
         if self._flush_event is not None:
             self._flush_event.cancel()
             self._flush_event = None
-        self.advance()
-        while self._full or self._dirty:
-            if self._full:
-                self._full = False
-                self._dirty.clear()
-                self.full_recomputes += 1
-                self._recompute_rates(self.flows)
-            else:
-                dirty, self._dirty = self._dirty, set()
-                self.scoped_recomputes += 1
-                self._recompute_rates(self._component_flows(dirty))
+        self._flushing = True
+        try:
+            while self._full or self._dirty:
+                if self._full:
+                    self._full = False
+                    self._dirty.clear()
+                    self.full_recomputes += 1
+                    self._solve_full()
+                else:
+                    dirty, self._dirty = self._dirty, set()
+                    self.scoped_recomputes += 1
+                    self._solve_scoped(dirty)
+        finally:
+            self._flushing = False
         self._schedule_next()
 
-    def _component_flows(self, dirty: set[Resource]) -> set[Flow]:
-        """Flows in the connected component(s) of the resource-sharing
-        graph reachable from the dirty resources."""
-        flows: set[Flow] = set()
-        seen = set(dirty)
-        stack = list(dirty)
-        while stack:
-            r = stack.pop()
-            for f in r.flows:
-                if f not in flows:
-                    flows.add(f)
-                    for r2 in f.path:
-                        if r2 not in seen:
-                            seen.add(r2)
-                            stack.append(r2)
-        return flows
-
-    def _recompute_rates(self, flows: Iterable[Flow]) -> None:
-        """Progressive-filling max-min fair allocation over ``flows``.
-
-        Correct for any resource-sharing-closed flow set: flows outside a
-        closed set share no resource with it, so their (unchanged) rates
-        consume none of the capacity allocated here.
-        """
-        active = {f for f in flows if not f.paused and f.path
-                  and not f.completed}
+    def _solve_full(self) -> None:
+        """Water-fill the entire flow set from raw capacities."""
+        now = self.sim.now
+        finished: list[Flow] = []
+        for f in self.flows:
+            if f.rate > 0.0:
+                f._sync(now)
+                if f.size - f._base <= _EPS:
+                    finished.append(f)
+            else:
+                f._sync_t = now
+        for f in finished:
+            self._complete(f)
+        flows = self.flows
+        active = {f for f in flows if not f.paused and f.path}
         for f in flows:
             f.rate = 0.0
+        self._res_state.clear()
+        self._water_fill(active, None)
+        for f in flows:
+            f._gen += 1
+            if f.rate > _EPS:
+                self._push_completion(f, now)
 
-        # gather resources used by active flows
-        res_flows: dict[Resource, set[Flow]] = {}
-        for f in active:
-            for r in f.path:
-                res_flows.setdefault(r, set()).add(f)
+    def _solve_scoped(self, dirty: set[Resource]) -> None:
+        """Bottleneck-scoped incremental solve.
 
-        remaining_cap = {r: r.capacity for r in res_flows}
+        Water-fills only the flows crossing the dirty resources; resources
+        their paths leak onto enter with residual capacity (capacity minus
+        untouched load).  Afterwards every untouched flow sharing a leaked
+        resource is checked against the max-min certificate — saturated
+        bottleneck with no faster flow — and an unhappy flow pulls its path
+        into scope for another pass.  The fixpoint expands at most to the
+        connected component; disjoint bottlenecks never meet it.
+        """
+        now = self.sim.now
+        live = self.flows
+        scope_res = set(dirty)
+        while True:
+            self.bottleneck_recomputes += 1
+            scope_flows: set[Flow] = set()
+            for r in scope_res:
+                scope_flows |= r.flows
+            # materialize progress at the outgoing rates before re-rating
+            # (inlined Flow._sync: this loop is the solver's hot path)
+            finished: Optional[list[Flow]] = None
+            for f in scope_flows:
+                rate = f.rate
+                if rate > 0.0:
+                    if now > f._sync_t:
+                        size = f.size
+                        base = f._base + rate * (now - f._sync_t)
+                        if base > size:
+                            base = size
+                        f._base = base
+                        f._sync_t = now
+                        log = f.progress_log
+                        if log[-1][0] != now:
+                            log.append((now, base))
+                        if size - base <= _EPS:
+                            if finished is None:
+                                finished = []
+                            finished.append(f)
+                    elif f.size - f._base <= _EPS:
+                        if finished is None:
+                            finished = []
+                        finished.append(f)
+                else:
+                    f._sync_t = now
+            if finished is None:
+                active = {f for f in scope_flows if not f.paused and f.path}
+            else:
+                for f in finished:
+                    self._complete(f)
+                scope_flows.difference_update(finished)
+                # completion callbacks may have cancelled peers mid-solve:
+                # drop anything no longer managed
+                active = {f for f in scope_flows
+                          if f in live and not f.paused and f.path}
+            # flows leaving service (pause/cancel/complete) always have
+            # their whole path in the dirty set, so only active flows can
+            # leak the scope onto border resources
+            border: Optional[set[Resource]] = None
+            res_flows: dict[Resource, set[Flow]] = {}
+            for f in active:
+                for r in f.path:
+                    if r not in scope_res:
+                        if border is None:
+                            border = set()
+                        border.add(r)
+            caps: Optional[dict[Resource, float]] = None
+            frozen: set[Flow] = set()
+            if border:
+                # scope paths leak outside the dirty set: those resources
+                # enter the fill at their residual capacity and their
+                # untouched flows face the optimality check afterwards
+                caps = {}
+                for r in border:
+                    cap = r.capacity
+                    for g in r.flows:
+                        if g not in scope_flows:
+                            frozen.add(g)
+                            cap -= g.rate
+                    caps[r] = cap if cap > 0.0 else 0.0
+            if len(active) != len(scope_flows):
+                # inactive scope flows (paused, detached) end at rate 0;
+                # every active flow is assigned by the fill itself
+                for f in scope_flows:
+                    if f not in active:
+                        f.rate = 0.0
+            if border is None and len(active) == len(scope_flows):
+                # every flow on every touched resource is being re-rated:
+                # each resource's live set IS r.flows — no copies needed
+                for f in active:
+                    for r in f.path:
+                        if r not in res_flows:
+                            res_flows[r] = r.flows
+            else:
+                for f in active:
+                    for r in f.path:
+                        s = res_flows.get(r)
+                        if s is None:
+                            res_flows[r] = s = set()
+                        s.add(f)
+            self._water_fill(active, caps, res_flows)
+            if self._res_state:
+                state_pop = self._res_state.pop
+                for r in scope_res:
+                    state_pop(r, None)
+                if border:
+                    for r in border:
+                        state_pop(r, None)
+            # rate assignments: bump generations (invalidating old heap
+            # entries) and push fresh completion estimates (inlined
+            # _push_completion — same hot path)
+            seq = self._seq
+            heap = self._heap
+            push = heapq.heappush
+            for f in scope_flows:
+                gen = f._gen + 1
+                f._gen = gen
+                rate = f.rate
+                if rate > _EPS:
+                    seq += 1
+                    dt = (f.size - f._base) / rate
+                    push(heap, (now + (dt if dt > 1e-6 else 1e-6),
+                                seq, gen, f))
+            self._seq = seq
+            if not frozen:
+                return
+            grew = False
+            for f in active | frozen:
+                if not self._happy(f):
+                    for r in f.path:
+                        if r not in scope_res:
+                            scope_res.add(r)
+                            grew = True
+            if not grew:
+                return
+
+    def _happy(self, f: Flow) -> bool:
+        """Max-min optimality certificate: some resource on the flow's path
+        is saturated and carries no faster flow."""
+        rate = f.rate
+        state = self._res_state
+        for r in f.path:
+            st = state.get(r)
+            if st is None:
+                load = 0.0
+                maxr = 0.0
+                for g in r.flows:
+                    gr = g.rate
+                    load += gr
+                    if gr > maxr:
+                        maxr = gr
+                st = (load, maxr)
+                state[r] = st
+            load, maxr = st
+            if (load >= r.capacity - _EPS * (1.0 + r.capacity)
+                    and rate >= maxr - _EPS * (1.0 + maxr)):
+                return True
+        return False
+
+    def _water_fill(self, active: set[Flow],
+                    caps: Optional[dict[Resource, float]],
+                    res_flows: Optional[dict[Resource, set[Flow]]] = None
+                    ) -> None:
+        """Progressive-filling max-min fair allocation over ``active``.
+
+        ``caps`` overrides the starting capacity for border resources of a
+        scoped solve (their residual after untouched flows); every other
+        resource starts at its raw capacity, so a scope that covers the
+        whole sharing component reproduces the full solve bit-for-bit.
+        ``res_flows`` (resource -> active flows crossing it) may be passed
+        pre-built by the caller; it is never mutated here.
+        """
+        if res_flows is None:
+            res_flows = {}
+            for f in active:
+                for r in f.path:
+                    s = res_flows.get(r)
+                    if s is None:
+                        res_flows[r] = s = set()
+                    s.add(f)
+
+        if caps:
+            remaining_cap = {r: caps.get(r, r.capacity) for r in res_flows}
+        else:
+            remaining_cap = {r: r.capacity for r in res_flows}
         unfrozen = set(active)
+        first = True
         while unfrozen:
-            # bottleneck share
+            # one pass: live set and bottleneck share per resource.  In the
+            # first round every live set is the resource's full flow set.
             best_share = math.inf
+            rounds: list[tuple[float, set[Flow]]] = []
             for r, fs in res_flows.items():
-                live = len(fs & unfrozen)
-                if live:
-                    share = remaining_cap[r] / live
+                lv = fs if first else fs & unfrozen
+                if lv:
+                    share = remaining_cap[r] / len(lv)
+                    rounds.append((share, lv))
                     if share < best_share:
                         best_share = share
+            first = False
             if not math.isfinite(best_share):
+                for f in unfrozen:  # defensive: pathless stragglers stop
+                    f.rate = 0.0
                 break
             if best_share <= _EPS:
                 # saturated resources: freeze their flows at zero
                 frozen_now = set()
-                for r, fs in res_flows.items():
-                    live = fs & unfrozen
-                    if live and remaining_cap[r] / len(live) <= _EPS:
-                        frozen_now |= live
+                for share, lv in rounds:
+                    if share <= _EPS:
+                        frozen_now |= lv
                 for f in frozen_now:
                     f.rate = 0.0
                 unfrozen -= frozen_now
                 continue
             # freeze flows crossing the bottleneck resource(s)
             frozen_now = set()
-            for r, fs in res_flows.items():
-                live = fs & unfrozen
-                if live and remaining_cap[r] / len(live) <= best_share + _EPS:
-                    frozen_now |= live
+            for share, lv in rounds:
+                if share <= best_share + _EPS:
+                    frozen_now |= lv
+            if len(frozen_now) == len(unfrozen):
+                # everything bottlenecked at once: no later round will read
+                # remaining_cap, so skip the subtraction sweep
+                for f in frozen_now:
+                    f.rate = best_share
+                break
             for f in frozen_now:
                 f.rate = best_share
                 for r in f.path:
@@ -392,24 +664,72 @@ class FlowManager:
                                                remaining_cap[r] - best_share)
             unfrozen -= frozen_now
 
+    # -- completion scheduling ---------------------------------------------
+    def _push_completion(self, f: Flow, now: float) -> None:
+        self._seq += 1
+        t = now + max(1e-6, (f.size - f._base) / f.rate)
+        heapq.heappush(self._heap, (t, self._seq, f._gen, f))
+
+    @staticmethod
+    def _entry_live(entry: tuple[float, int, int, "Flow"]) -> bool:
+        f = entry[3]
+        return entry[2] == f._gen and f.rate > _EPS and not f.completed
+
     def _schedule_next(self) -> None:
+        h = self._heap
+        live = self._entry_live
+        while h and not live(h[0]):
+            heapq.heappop(h)
+        if len(h) > 64 and len(h) > 8 * (len(self.flows) + 1):
+            fresh = [e for e in h if live(e)]
+            heapq.heapify(fresh)
+            self._heap = h = fresh
+        if not h:
+            if self._next_event is not None:
+                self._next_event.cancel()
+                self._next_event = None
+            self._next_at = math.inf
+            return
+        t = h[0][0]
         if self._next_event is not None:
+            if self._next_at <= t:
+                # the pending event fires no later than the next completion;
+                # an early wakeup is a cheap no-op that reschedules, so keep
+                # it instead of churning the simulator's event heap
+                return
             self._next_event.cancel()
-            self._next_event = None
-        next_dt = math.inf
-        for f in self.flows:
-            if f.rate > _EPS:
-                next_dt = min(next_dt, f.remaining / f.rate)
-        if math.isfinite(next_dt):
-            # floor the step at 1 µs: a residual of a few bytes divided by a
-            # MB/s rate is below float time resolution and would otherwise
-            # re-fire this event forever without advancing the clock
-            self._next_event = self.sim.schedule(max(1e-6, next_dt),
-                                                 self._on_completion_event)
+        self._next_at = t
+        # floor the step at 1 µs (already applied at push time): a residual
+        # of a few bytes divided by a MB/s rate is below float time
+        # resolution and would otherwise re-fire this event forever
+        self._next_event = self.sim.schedule(max(0.0, t - self.sim.now),
+                                             self._on_completion_event)
 
     def _on_completion_event(self) -> None:
         self._next_event = None
-        # advance() inside the flush completes the due flow(s), marking
-        # their resources dirty; the recomputation is then scoped to the
-        # component that actually gained capacity
+        self._next_at = math.inf
+        now = self.sim.now
+        h = self._heap
+        live = self._entry_live
+        finished: list[Flow] = []
+        while h:
+            entry = h[0]
+            if not live(entry):
+                heapq.heappop(h)
+                continue
+            if entry[0] > now + 1e-12:
+                break
+            heapq.heappop(h)
+            f = entry[3]
+            f._sync(now)
+            if f.size - f._base <= _EPS:
+                finished.append(f)
+            else:
+                # sub-resolution residual: re-aim with the 1 µs floor
+                f._gen += 1
+                self._push_completion(f, now)
+        for f in finished:
+            self._complete(f)
+        # completions marked their resources dirty; the flush rebalances
+        # the component that actually gained capacity and reschedules
         self._flush()

@@ -61,6 +61,9 @@ class SimTransport(Transport):
                                                node=self.name)
             self._m_rx_bytes = metrics.counter("wire.rx_bytes",
                                                node=self.name)
+        if wire_mode == "codec":
+            self._m_opaque = metrics.counter("wire.opaque_frames",
+                                             node=self.name)
 
     # ------------------------------------------------------------------
     @property
@@ -99,18 +102,23 @@ class SimTransport(Transport):
             return
         # codec: the datagram carries real bytes; causal context must ride
         # the datagram explicitly since the payload is now opaque
+        before = codec.opaque_frames
         buf = codec.encode(msg)
+        if codec.opaque_frames != before:
+            self._m_opaque.inc(codec.opaque_frames - before)
         self._m_tx_bytes.inc(len(buf))
         sock.send(dst, buf, size=len(buf), header=codec.UDP_IP_OVERHEAD,
                   trace=getattr(msg, "trace", None))
 
     # ------------------------------------------------------------------
     def _on_codec_dgram(self, dgram: "Datagram") -> None:
-        """Codec-mode delivery: decode, restore post-transit trace
-        context, dispatch.  Malformed frames are counted and dropped —
-        never raised into the simulation event loop."""
+        """Codec-mode delivery: decode the routing envelope (payloads of
+        routed frames stay as zero-copy :class:`~repro.wire.RawBody`
+        slices until local delivery), restore post-transit trace context,
+        dispatch.  Malformed frames are counted and dropped — never
+        raised into the simulation event loop."""
         try:
-            msg = codec.decode(dgram.payload)
+            msg = codec.decode_lazy(dgram.payload)
         except codec.DecodeError:
             self._m_decode_err.inc()
             if dgram.trace is not None:

@@ -49,6 +49,7 @@ class UdpTransport(Transport):
         self._m_decode_err = metrics.counter("wire.decode_error", node=name)
         self._m_tx_bytes = metrics.counter("wire.tx_bytes", node=name)
         self._m_rx_bytes = metrics.counter("wire.rx_bytes", node=name)
+        self._m_opaque = metrics.counter("wire.opaque_frames", node=name)
         self.sent = 0
         self.received = 0
 
@@ -88,7 +89,10 @@ class UdpTransport(Transport):
     def send(self, dst: Endpoint, msg: Any, size_hint: int = 0) -> None:
         if self._transport is None or self._transport.is_closing():
             return
+        before = codec.opaque_frames
         buf = codec.encode(msg)
+        if codec.opaque_frames != before:
+            self._m_opaque.inc(codec.opaque_frames - before)
         self.sent += 1
         self._m_tx_bytes.inc(len(buf))
         self._transport.sendto(buf, (dst.ip, dst.port))
@@ -97,7 +101,9 @@ class UdpTransport(Transport):
         if self._handler is None:
             return
         try:
-            msg = codec.decode(data)
+            # header-only fast path: routed frames in transit keep their
+            # payload undecoded until the node delivers locally
+            msg = codec.decode_lazy(data)
         except codec.DecodeError:
             self._m_decode_err.inc()
             return

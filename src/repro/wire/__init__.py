@@ -19,11 +19,16 @@ exception escape the event loop.
 
 from repro.wire.codec import (
     UDP_IP_OVERHEAD,
-    WIRE_VERSION,
     DecodeError,
+    FrameHeader,
+    RawBody,
+    WIRE_VERSION,
     decode,
+    decode_lazy,
     encode,
     encoded_size,
+    materialize,
+    peek_header,
 )
 from repro.wire.sizing import encap_overhead, reference_sizes
 
@@ -31,9 +36,14 @@ __all__ = [
     "UDP_IP_OVERHEAD",
     "WIRE_VERSION",
     "DecodeError",
+    "FrameHeader",
+    "RawBody",
     "decode",
+    "decode_lazy",
     "encode",
     "encoded_size",
+    "materialize",
+    "peek_header",
     "encap_overhead",
     "reference_sizes",
 ]

@@ -110,6 +110,21 @@ def test_completion_rebalances_only_its_component(mgr):
     assert long_b.rate == pytest.approx(80.0)
 
 
+def test_bottleneck_passes_counted_per_water_fill(mgr):
+    """Each flush counts one scoped recompute but may take several
+    bottleneck-scoped water-fill passes when unhappy frozen flows pull
+    their paths into scope; a clean single-bottleneck mutation takes
+    exactly one pass."""
+    sim, fm = mgr
+    r = Resource("r", 100.0)
+    Flow(fm, "f", 1e9, [r])
+    scoped, passes = fm.scoped_recomputes, fm.bottleneck_recomputes
+    sim.schedule(1.0, lambda: Flow(fm, "g", 1e9, [r]))
+    sim.run(until=2.0)
+    assert fm.scoped_recomputes == scoped + 1
+    assert fm.bottleneck_recomputes == passes + 1
+
+
 def test_incremental_matches_full_recompute_after_repath(mgr):
     sim, fm = mgr
     r1, r2, r3 = (Resource(f"r{i}", 90.0 * i) for i in (1, 2, 3))
@@ -127,7 +142,8 @@ def test_incremental_matches_full_recompute_after_repath(mgr):
 @settings(max_examples=40, deadline=None)
 @given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5),
                           st.sampled_from(["add", "cancel", "pause",
-                                           "resume", "capacity"])),
+                                           "resume", "capacity",
+                                           "repath"])),
                 min_size=1, max_size=25))
 def test_incremental_equals_full_under_random_churn(ops):
     sim = Simulator(seed=11, trace=False)
@@ -147,6 +163,9 @@ def test_incremental_equals_full_under_random_churn(ops):
             flows[a % len(flows)].resume()
         elif op == "capacity":
             resources[a].set_capacity(30.0 + 20.0 * b, fm)
+        elif op == "repath" and flows:
+            path = [resources[b]] + ([resources[a]] if a != b else [])
+            flows[a % len(flows)].set_path(path)
 
     for i, (a, b, op) in enumerate(ops):
         sim.schedule(float(i) + 1.0, apply, op, a, b)

@@ -71,3 +71,15 @@ def test_datagram_header_override_for_measured_modes():
 def test_encap_overhead_is_cached_and_stable():
     assert encap_overhead() is not None
     assert encap_overhead() == encap_overhead()
+
+
+def test_encoded_size_equals_real_encode_over_fuzz_corpus():
+    """The arithmetic sizer must agree with an actual encode, byte for
+    byte, across every message type and a large randomized corpus —
+    otherwise bandwidth accounting in the simulator silently drifts from
+    what the codec-mode transport would really put on the wire."""
+    from repro.wire import encode
+    from tests.wire.test_codec_roundtrip import _sample_messages
+
+    for msg in _sample_messages(seed=17, per_type=25):
+        assert encoded_size(msg) == len(encode(msg)), msg
