@@ -36,13 +36,22 @@ OPS_SUFFIX = "_ops_per_s"
 
 
 def _calibration_ops_per_s() -> float:
-    """A fixed pure-Python workload used to normalize across machines."""
-    t0 = time.perf_counter()
-    acc = 0
-    for i in range(2_000_000):
-        acc += i & 1023
-    dt = time.perf_counter() - t0
-    return 2_000_000 / dt
+    """A fixed pure-Python workload used to normalize across machines.
+
+    Best-of-3: every metric is divided by this number, so a scheduler
+    stall inside a single-shot calibration window would skew *all*
+    normalized ratios at once — the one place noise multiplies instead
+    of adding.
+    """
+    def once() -> float:
+        t0 = time.perf_counter()
+        acc = 0
+        for i in range(2_000_000):
+            acc += i & 1023
+        dt = time.perf_counter() - t0
+        return 2_000_000 / dt
+
+    return max(once() for _ in range(3))
 
 
 def bench_event_throughput() -> float:
@@ -188,6 +197,37 @@ def bench_wire_peek() -> float:
     return n / (time.perf_counter() - t0)
 
 
+def _obs_workload(profile: bool) -> float:
+    """Kernel events/sec through a small churn-shaped overlay (join +
+    steady-state protocol traffic), with the self-profiler attached or
+    not."""
+    from repro.brunet.config import BrunetConfig
+    from repro.experiments.churn_recovery import _build_overlay
+    from repro.sim import Simulator
+
+    sim = Simulator(seed=0, trace=False)
+    if profile:
+        sim.obs.enable_profiler()
+    _build_overlay(sim, 10, BrunetConfig())
+    ev0 = sim.events_processed
+    t0 = time.perf_counter()
+    sim.run(until=sim.now + 3000.0)
+    dt = time.perf_counter() - t0
+    return (sim.events_processed - ev0) / dt
+
+
+def bench_obs_overhead() -> tuple[float, float]:
+    """(off, on) churn-mix throughput.  Off/on runs are *interleaved* and
+    best-of-4 each, so machine noise (shared CI runners) hits both sides
+    alike and the overhead ratio — which is what the gate checks — stays
+    meaningful."""
+    off = on = 0.0
+    for _ in range(4):
+        off = max(off, _obs_workload(profile=False))
+        on = max(on, _obs_workload(profile=True))
+    return off, on
+
+
 def bench_scaling(n_nodes: int) -> float:
     from repro.experiments import scaling
     t0 = time.perf_counter()
@@ -213,16 +253,27 @@ def _noop() -> None:
     pass
 
 
+def _best_of(fn, n: int = 3) -> float:
+    """Best of ``n`` runs.  Each micro bench finishes in well under a
+    second, so single runs are at the mercy of shared-host scheduling
+    noise (observed swings: 2×); the max over a few runs approximates
+    the machine's noise-free speed on both sides of every comparison."""
+    return max(fn() for _ in range(n))
+
+
 def run_benches(smoke: bool) -> dict:
     micro = {
-        "event_throughput_ops_per_s": bench_event_throughput(),
-        "event_churn_ops_per_s": bench_event_churn(),
-        "next_hop_ops_per_s": bench_next_hop(),
-        "flow_churn_ops_per_s": bench_flow_churn(),
-        "wire_encode_ops_per_s": bench_wire_encode(),
-        "wire_decode_ops_per_s": bench_wire_decode(),
-        "wire_peek_ops_per_s": bench_wire_peek(),
+        "event_throughput_ops_per_s": _best_of(bench_event_throughput),
+        "event_churn_ops_per_s": _best_of(bench_event_churn),
+        "next_hop_ops_per_s": _best_of(bench_next_hop),
+        "flow_churn_ops_per_s": _best_of(bench_flow_churn),
+        "wire_encode_ops_per_s": _best_of(bench_wire_encode),
+        "wire_decode_ops_per_s": _best_of(bench_wire_decode),
+        "wire_peek_ops_per_s": _best_of(bench_wire_peek),
     }
+    obs_off, obs_on = bench_obs_overhead()
+    micro["obs_overhead_off_ops_per_s"] = obs_off
+    micro["obs_overhead_on_ops_per_s"] = obs_on
     experiments = {"scaling_64_s": bench_scaling(64)}
     if not smoke:
         experiments["scaling_128_s"] = bench_scaling(128)
@@ -267,6 +318,11 @@ RATIO_FLOORS = {
     "flow_churn_ops_per_s": 6.0e-4,   # ≥10× the component-solver 1.3k
 }
 
+#: the kernel self-profiler may cost at most this fraction of churn-mix
+#: event throughput (profiling on vs off, measured in the *same* fresh
+#: report, so the gate is machine-independent)
+OBS_OVERHEAD_MIN = 0.90
+
 
 def check(fresh: dict, committed: dict, tolerance: float) -> list[str]:
     """Regressions (normalized slowdown beyond ``tolerance``) in metrics
@@ -288,6 +344,14 @@ def check(fresh: dict, committed: dict, tolerance: float) -> list[str]:
         if now is not None and now < floor:
             failures.append(
                 f"{name}: normalized {now:.4g} below pinned floor {floor:.4g}")
+    off = fresh["micro"].get("obs_overhead_off_ops_per_s", 0.0)
+    on = fresh["micro"].get("obs_overhead_on_ops_per_s", 0.0)
+    if off > 0 and on < off * OBS_OVERHEAD_MIN:
+        failures.append(
+            f"obs_overhead: profiling costs "
+            f"{(1 - on / off) * 100:.0f}% of churn-mix throughput "
+            f"({on:,.0f} vs {off:,.0f} ev/s; allowed "
+            f"{(1 - OBS_OVERHEAD_MIN) * 100:.0f}%)")
     return failures
 
 

@@ -53,15 +53,28 @@ async def _wait_for(predicate, timeout: float, poll: float = 0.05) -> bool:
     return bool(predicate())
 
 
-async def run(timeout: float = 60.0, verbose: bool = True) -> int:
+async def run(timeout: float = 60.0, verbose: bool = True,
+              stats_port: int | None = None,
+              hold: float = 0.0) -> int:
     """Bring up the two-node overlay and ping across it.  Returns the
-    process exit code (0 = success)."""
+    process exit code (0 = success).
+
+    ``stats_port`` — when not None, expose the kernel's UDP stats socket
+    on that port (0 = ephemeral) so ``python -m repro.obs.top --connect
+    127.0.0.1:PORT`` can watch the run live; ``hold`` keeps the overlay
+    up for that many extra seconds after the ping so there is something
+    to watch.
+    """
 
     def say(msg: str) -> None:
         if verbose:
             print(msg, flush=True)
 
     kernel = RealtimeKernel(seed=1)
+    if stats_port is not None:
+        ip, port = await kernel.serve_stats(port=stats_port)
+        say(f"stats socket on {ip}:{port} — watch with "
+            f"python -m repro.obs.top --connect {ip}:{port}")
     nodes: list[BrunetNode] = []
     routers: list[IpopRouter] = []
     transports: list[UdpTransport] = []
@@ -108,6 +121,9 @@ async def run(timeout: float = 60.0, verbose: bool = True) -> int:
                 f"decode_errors="
                 f"{metrics.counter('wire.decode_error', node=t.name).value:.0f}")
         say("OK: bootstrap + CTM + linking + tunnelled ping over live UDP")
+        if hold > 0:
+            say(f"holding the overlay up for {hold:.0f}s (ctrl-c to stop)")
+            await asyncio.sleep(hold)
         return 0
     finally:
         for n in nodes:
@@ -115,6 +131,7 @@ async def run(timeout: float = 60.0, verbose: bool = True) -> int:
                 n.stop()
         for t in transports:
             t.close()
+        kernel.close_stats()
 
 
 def main(argv=None) -> int:
@@ -122,8 +139,16 @@ def main(argv=None) -> int:
     parser.add_argument("--timeout", type=float, default=60.0,
                         help="overall convergence budget in seconds")
     parser.add_argument("--quiet", action="store_true")
+    parser.add_argument("--stats-port", type=int, default=None,
+                        metavar="PORT",
+                        help="expose a UDP stats socket for obs.top "
+                             "(0 = ephemeral port)")
+    parser.add_argument("--hold", type=float, default=0.0,
+                        help="keep the overlay up for N extra seconds "
+                             "after the ping (for watching with obs.top)")
     args = parser.parse_args(argv)
-    return asyncio.run(run(timeout=args.timeout, verbose=not args.quiet))
+    return asyncio.run(run(timeout=args.timeout, verbose=not args.quiet,
+                           stats_port=args.stats_port, hold=args.hold))
 
 
 if __name__ == "__main__":

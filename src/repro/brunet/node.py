@@ -110,6 +110,8 @@ class BrunetNode:
         # the same failure as a transport-level decode error
         self._m_decode_err = metrics.counter("wire.decode_error",
                                              node=self.name)
+        self._m_body_drop = metrics.counter("wire.body_decode_drop",
+                                            node=self.name)
         metrics.gauge_fn("brunet.connections", lambda: len(self.table),
                          node=self.name)
 
@@ -337,6 +339,7 @@ class BrunetNode:
             except wire.DecodeError:
                 self.stats["body_decode_drop"] += 1
                 self._m_decode_err.inc()
+                self._m_body_drop.inc()
                 if pkt.trace is not None:
                     spans = self.sim.obs.spans
                     spans.hop(pkt.trace, "wire.decode_drop", self.name,

@@ -62,6 +62,8 @@ class ChurnResult:
     obs_manifest: Optional[dict] = None
     #: invariant-audit violations (``audit=True``); None = audit off
     violations: Optional[list] = None
+    #: kernel self-profile summary (``profile_kernel=True``); None = off
+    profile: Optional[dict] = None
 
     @property
     def recovered(self) -> bool:
@@ -137,25 +139,38 @@ def run(seed: int = 0, n_nodes: int = 20, kill_fraction: float = 0.25,
         settle: float = 400.0, horizon: float = 600.0,
         sample_every: float = 5.0,
         obs_dir: Optional[str] = None,
-        audit: bool = False) -> ChurnResult:
+        audit: bool = False,
+        profile_kernel: bool = False) -> ChurnResult:
     """One deterministic churn-recovery measurement.
 
     ``obs_dir`` — when given, causal span tracing and the flight recorder
     are enabled and the full observability bundle (metrics, spans, events,
-    manifest) is exported there at the end of the run.
+    manifest) is exported there at the end of the run; an address-ring
+    sector rollup over the live population is registered too, so the
+    bundle carries ``ring.sector.*`` gauges.
 
     ``audit`` — run the invariant auditor inline (read-only, so the run's
     trajectory is unchanged); violations land in
     :attr:`ChurnResult.violations` and, with ``obs_dir``, in the bundle's
     ``violations.jsonl``.
+
+    ``profile_kernel`` — attach the kernel self-profiler (also
+    read-only); the summary lands in :attr:`ChurnResult.profile` and,
+    with ``obs_dir``, ``profile.json`` + ``profile.folded`` are written
+    beside the bundle.
     """
     sim = Simulator(seed=seed, trace=False)
+    if profile_kernel:
+        sim.obs.enable_profiler()
     if obs_dir is not None:
         os.makedirs(obs_dir, exist_ok=True)
         sim.obs.enable_spans()
         sim.obs.enable_recorder(
             capacity=256, spill_path=os.path.join(obs_dir, "events.jsonl"))
     internet, nodes, routers = _build_overlay(sim, n_nodes, BrunetConfig())
+    if obs_dir is not None:
+        sim.obs.enable_rollup(lambda: [n for n in nodes if n.active],
+                              sectors=8)
     auditor = None
     if audit:
         from repro.check import Auditor
@@ -202,11 +217,14 @@ def run(seed: int = 0, n_nodes: int = 20, kill_fraction: float = 0.25,
     violations = auditor.finish() if auditor is not None else None
     manifest = (sim.obs.export(obs_dir, seed=seed)
                 if obs_dir is not None else None)
+    profile = (sim.obs.profiler.summary()
+               if sim.obs.profiler is not None else None)
     return ChurnResult(seed=seed, n_nodes=n_nodes, n_killed=n_killed,
                        t_kill=t_kill, recovery_ring=recovery_ring,
                        recovery_routes=recovery_routes, series=series,
                        fault_log=list(faults.fired),
-                       obs_manifest=manifest, violations=violations)
+                       obs_manifest=manifest, violations=violations,
+                       profile=profile)
 
 
 def report(result: ChurnResult, csv_dir: Optional[str] = None) -> None:

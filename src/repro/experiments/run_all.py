@@ -57,7 +57,8 @@ def _audit_verdict(name: str, violations: list) -> list:
 def _run_one(name: str, full: bool, seed: int, scale: float,
              csv_dir: str | None = None,
              metrics_out: str | None = None,
-             audit: bool = False) -> list:
+             audit: bool = False,
+             profile_kernel: bool = False) -> list:
     """Run one experiment; returns invariant violations (``--audit``)."""
     t0 = time.time()
     violations: list = []
@@ -116,10 +117,20 @@ def _run_one(name: str, full: bool, seed: int, scale: float,
                                     n_nodes=40 if full else 20,
                                     kill_fraction=0.25,
                                     obs_dir=metrics_out,
-                                    audit=audit)
+                                    audit=audit,
+                                    profile_kernel=profile_kernel)
         churn_recovery.report(result, csv_dir=csv_dir)
         if metrics_out:
             print(f"[obs] export bundle in {metrics_out}/")
+        if result.profile:
+            cats = sorted(result.profile["categories"].items(),
+                          key=lambda kv: -kv[1]["time_s"])
+            print("[profile] " + "  ".join(
+                f"{cat}={agg['share'] * 100:.0f}%"
+                for cat, agg in cats[:6]))
+            if metrics_out:
+                print(f"[profile] profile.json + profile.folded in "
+                      f"{metrics_out}/ (flamegraph-ready)")
         if audit:
             violations = _audit_verdict(name, result.violations or [])
     else:
@@ -153,6 +164,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--profile", action="store_true",
                         help="run under cProfile and print the top-20 "
                              "functions by cumulative time")
+    parser.add_argument("--profile-kernel", action="store_true",
+                        help="attach the in-kernel self-profiler "
+                             "(read-only; currently wired into churn). "
+                             "With --metrics-out, profile.json and "
+                             "profile.folded land beside the bundle")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -170,7 +186,8 @@ def main(argv: list[str] | None = None) -> int:
             all_violations.extend(
                 _run_one(name, args.full, args.seed, scale,
                          csv_dir=args.csv_dir,
-                         metrics_out=args.metrics_out, audit=args.audit))
+                         metrics_out=args.metrics_out, audit=args.audit,
+                         profile_kernel=args.profile_kernel))
 
     if args.profile:
         import cProfile

@@ -10,15 +10,29 @@ Three cooperating pieces, owned per-simulation by
   linking handshake, NAT traversal and physical delivery, reconstructable
   as a span tree;
 * :mod:`repro.obs.recorder` — a bounded per-node ring of recent events
-  with optional JSONL spill.
+  with optional JSONL spill (size-rotated, optionally gzipped);
+* :mod:`repro.obs.prof` — the kernel self-profiler: per-subsystem /
+  per-handler wall-time attribution, kernel health, a top-K heavy-node
+  sketch, flamegraph-ready collapsed stacks.
 
 ``python -m repro.obs.inspect <export-dir>`` renders node health, the
 connection census, slowest routes, and per-trace span trees from a run's
-export (see :mod:`repro.obs.inspect`).
+export (see :mod:`repro.obs.inspect`); ``python -m repro.obs.top``
+attaches a live refreshing dashboard to a running overlay — in-process
+or over a :meth:`~repro.transport.runtime.RealtimeKernel.serve_stats`
+UDP socket (see :mod:`repro.obs.top`).
 """
 
 from repro.obs.hub import Observability
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    Counter,
+    DeltaReader,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SectorRollup,
+)
+from repro.obs.prof import KernelProfiler, SpaceSavingSketch, categorize
 from repro.obs.recorder import FlightRecorder
 from repro.obs.spans import Span, SpanCollector, TraceRef, span_tree
 
@@ -28,9 +42,14 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "DeltaReader",
+    "SectorRollup",
     "SpanCollector",
     "Span",
     "TraceRef",
     "span_tree",
     "FlightRecorder",
+    "KernelProfiler",
+    "SpaceSavingSketch",
+    "categorize",
 ]

@@ -12,22 +12,29 @@ inspector CLI (``python -m repro.obs.inspect``)::
 
     <dir>/metrics.jsonl   one JSON object per metric series
     <dir>/metrics.csv     the same, flattened
+    <dir>/metrics.prom    Prometheus text exposition of the same series
     <dir>/spans.jsonl     one JSON object per span (when spans enabled)
     <dir>/events.jsonl    flight-recorder spill (when recorder enabled)
     <dir>/violations.jsonl  invariant-audit findings (when auditing)
     <dir>/manifest.json   seed/time/trace-id index
+    <dir>/profile.json    kernel self-profile (when profiling enabled)
+    <dir>/profile.folded  flamegraph collapsed stacks (ditto)
 
 All exported values derive from simulation state only, so a fixed seed
-produces byte-identical exports.
+produces byte-identical exports — except the two ``profile.*`` files,
+which carry wall-clock timings and are therefore *not* listed in the
+manifest: with or without profiling, the deterministic half of the
+bundle is byte-identical (pinned by ``tests/obs/test_prof.py``).
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, SectorRollup
+from repro.obs.prof import KernelProfiler
 from repro.obs.recorder import FlightRecorder
 from repro.obs.spans import SpanCollector
 
@@ -41,7 +48,8 @@ DEFAULT_SAMPLE = {"ip": 1, "ctm": 1}
 class Observability:
     """Metrics + spans + flight recorder for one simulator."""
 
-    __slots__ = ("sim", "metrics", "spans", "recorder", "auditor")
+    __slots__ = ("sim", "metrics", "spans", "recorder", "auditor",
+                 "profiler", "rollup")
 
     def __init__(self, sim: "Simulator", metrics: bool = True):
         self.sim = sim
@@ -50,6 +58,10 @@ class Observability:
         self.recorder: Optional[FlightRecorder] = None
         # invariant auditor (repro.check); registers itself when created
         self.auditor = None
+        #: kernel self-profiler (see :meth:`enable_profiler`)
+        self.profiler: Optional[KernelProfiler] = None
+        #: address-ring sector rollup (see :meth:`enable_rollup`)
+        self.rollup: Optional[SectorRollup] = None
         if metrics:
             self.metrics.add_collector(self._collect_sim)
 
@@ -69,11 +81,40 @@ class Observability:
         return self.spans
 
     def enable_recorder(self, capacity: int = 256,
-                        spill_path: Optional[str] = None) -> FlightRecorder:
-        """Turn on the per-node flight recorder."""
+                        spill_path: Optional[str] = None,
+                        max_bytes: Optional[int] = None,
+                        compress_rotated: bool = False) -> FlightRecorder:
+        """Turn on the per-node flight recorder.  ``max_bytes`` bounds
+        each spill segment (rotation; optionally gzip-compressed) so long
+        churn runs cannot fill the disk."""
         self.recorder = FlightRecorder(capacity=capacity,
-                                       spill_path=spill_path)
+                                       spill_path=spill_path,
+                                       max_bytes=max_bytes,
+                                       compress_rotated=compress_rotated)
         return self.recorder
+
+    def enable_profiler(self, top_k: int = 32, sample_every: int = 1024,
+                        stride: int = 4) -> KernelProfiler:
+        """Attach the kernel self-profiler.  Read-only: the simulation's
+        event trajectory (and hence the deterministic export bundle) is
+        unchanged; only wall-time attribution is collected.  ``stride``
+        is the timing sample stride (every event is counted, every
+        stride-th wall-timed; 1 = time everything)."""
+        self.profiler = KernelProfiler(top_k=top_k,
+                                       sample_every=sample_every,
+                                       stride=stride)
+        self.sim.profiler = self.profiler
+        return self.profiler
+
+    def enable_rollup(self, nodes_fn: Callable, sectors: int = 16,
+                      space_bits: int = 160) -> SectorRollup:
+        """Register an address-ring sector rollup over the (live) node
+        population returned by ``nodes_fn()``; the per-sector gauges are
+        refreshed at every export/collector sweep."""
+        self.rollup = SectorRollup(self.metrics, nodes_fn,
+                                   sectors=sectors, space_bits=space_bits)
+        self.metrics.add_collector(self.rollup.collect)
+        return self.rollup
 
     # -- event fan-in ---------------------------------------------------
     def event(self, t: float, node: str, category: str,
@@ -101,6 +142,9 @@ class Observability:
         path = self.metrics.export_csv(
             os.path.join(out_dir, "metrics.csv"))
         manifest["files"]["metrics_csv"] = os.path.basename(path)
+        path = self.metrics.export_prom(
+            os.path.join(out_dir, "metrics.prom"))
+        manifest["files"]["metrics_prom"] = os.path.basename(path)
         if self.spans.enabled:
             path = self.spans.export_jsonl(
                 os.path.join(out_dir, "spans.jsonl"))
@@ -130,6 +174,14 @@ class Observability:
                 os.path.join(out_dir, "violations.jsonl"))
             manifest["files"]["violations"] = os.path.basename(path)
             manifest["audit"] = self.auditor.summary()
+        if self.profiler is not None:
+            # wall-clock profile: written beside the bundle but kept OUT
+            # of the manifest so the deterministic half stays
+            # byte-identical with profiling on or off
+            self.profiler.export_json(
+                os.path.join(out_dir, "profile.json"))
+            self.profiler.export_folded(
+                os.path.join(out_dir, "profile.folded"))
         with open(os.path.join(out_dir, "manifest.json"), "w") as fh:
             json.dump(manifest, fh, sort_keys=True, indent=1)
             fh.write("\n")

@@ -99,23 +99,28 @@ class Gauge:
 
 
 class CallbackGauge:
-    """Gauge whose value is a function sampled at export time."""
+    """Gauge whose value is one or more functions sampled at export time.
+
+    Holds a *list* of callbacks and reports their sum: when the registry
+    aggregates node series (``node_series=False``), many per-node
+    ``gauge_fn`` registrations collapse onto one child and the rolled-up
+    value is the total across nodes."""
 
     kind = "gauge"
-    __slots__ = ("name", "labels", "fn")
+    __slots__ = ("name", "labels", "fns")
 
     def __init__(self, name: str, labels: LabelItems,
                  fn: Callable[[], float]):
         self.name = name
         self.labels = labels
-        self.fn = fn
+        self.fns = [fn]
 
     @property
     def value(self) -> float:
-        return self.fn()
+        return sum(fn() for fn in self.fns)
 
     def row(self) -> dict:
-        return {"value": self.fn()}
+        return {"value": self.value}
 
 
 class Histogram:
@@ -175,15 +180,24 @@ class MetricsRegistry:
 
     ``enabled=False`` turns every factory into a no-op-instrument source,
     letting a whole simulation opt out without touching call sites.
+
+    ``node_series`` (default True) keeps one child per ``node=`` label.
+    Flip it to False *before nodes are constructed* and every per-node
+    series collapses onto a single aggregate child — export and dashboard
+    cost drops from O(n) series to O(metric names), the 100k-node mode.
+    Per-node ``gauge_fn`` registrations sum (see :class:`CallbackGauge`).
     """
 
-    def __init__(self, enabled: bool = True):
+    def __init__(self, enabled: bool = True, node_series: bool = True):
         self.enabled = enabled
+        self.node_series = node_series
         self._instruments: dict[tuple[str, str, LabelItems], Any] = {}
         self._collectors: list[Callable[["MetricsRegistry"], None]] = []
 
     # -- instrument factories -----------------------------------------
     def _get(self, cls, name: str, labels: dict) -> Any:
+        if not self.node_series and "node" in labels:
+            labels = {k: v for k, v in labels.items() if k != "node"}
         items: LabelItems = tuple(sorted(labels.items()))
         key = (cls.kind, name, items)
         inst = self._instruments.get(key)
@@ -212,12 +226,21 @@ class MetricsRegistry:
 
     def gauge_fn(self, name: str, fn: Callable[[], float],
                  **labels: str) -> None:
-        """Register a gauge computed by ``fn()`` at export time."""
+        """Register a gauge computed by ``fn()`` at export time.
+        Registering the same ``(name, labels)`` again *adds* the callback
+        (values sum) — which is how per-node gauges roll up when
+        ``node_series`` is off."""
         if not self.enabled:
             return
+        if not self.node_series and "node" in labels:
+            labels = {k: v for k, v in labels.items() if k != "node"}
         items: LabelItems = tuple(sorted(labels.items()))
-        self._instruments[("gauge", name, items)] = CallbackGauge(
-            name, items, fn)
+        key = ("gauge", name, items)
+        inst = self._instruments.get(key)
+        if isinstance(inst, CallbackGauge):
+            inst.fns.append(fn)
+        else:
+            self._instruments[key] = CallbackGauge(name, items, fn)
 
     def add_collector(self,
                       fn: Callable[["MetricsRegistry"], None]) -> None:
@@ -254,6 +277,39 @@ class MetricsRegistry:
                 fh.write(json.dumps(row, sort_keys=True) + "\n")
         return path
 
+    def export_prom(self, path: str) -> str:
+        """Write Prometheus text exposition (one ``# TYPE`` per family;
+        histograms as cumulative ``_bucket``/``_sum``/``_count``).  The
+        groundwork for running an IPOP-style daemon behind a scrape
+        endpoint; returns ``path``."""
+        rows = self.snapshot()
+        typed: dict[str, str] = {}
+        lines: list[str] = []
+        for row in rows:
+            name = _prom_name(row["name"])
+            if name not in typed:
+                typed[name] = row["type"]
+                lines.append(f"# TYPE {name} {row['type']}")
+            labels = _prom_labels(row["labels"])
+            if row["type"] == "histogram":
+                seen = 0
+                for le, n in row["buckets"].items():
+                    bound = le.split("=", 1)[1]
+                    seen += n
+                    lines.append(f"{name}_bucket"
+                                 f"{_prom_labels(row['labels'], le=bound)}"
+                                 f" {seen}")
+                lines.append(f"{name}_bucket"
+                             f"{_prom_labels(row['labels'], le='+Inf')}"
+                             f" {row['count']}")
+                lines.append(f"{name}_sum{labels} {_prom_num(row['sum'])}")
+                lines.append(f"{name}_count{labels} {row['count']}")
+            else:
+                lines.append(f"{name}{labels} {_prom_num(row['value'])}")
+        with open(path, "w") as fh:
+            fh.write("\n".join(lines) + ("\n" if lines else ""))
+        return path
+
     def export_csv(self, path: str) -> str:
         """Write ``name,labels,type,value,count,sum`` rows."""
         with open(path, "w") as fh:
@@ -271,3 +327,130 @@ class MetricsRegistry:
 def merge_rows(rows: Iterable[dict], name: str) -> float:
     """Sum the ``value`` of every row called ``name`` (export analysis)."""
     return sum(r.get("value", 0) for r in rows if r["name"] == name)
+
+
+# ---------------------------------------------------------------------------
+# Prometheus exposition helpers
+# ---------------------------------------------------------------------------
+
+def _prom_name(name: str) -> str:
+    """Mangle a dotted series name into a Prometheus metric name."""
+    return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+
+
+def _prom_labels(labels: dict, **extra: str) -> str:
+    """Render a ``{k="v",...}`` label block ('' when empty)."""
+    items = sorted({**labels, **extra}.items())
+    if not items:
+        return ""
+    body = ",".join(f'{_prom_name(k)}="{v}"' for k, v in items)
+    return "{" + body + "}"
+
+
+def _prom_num(v: float) -> str:
+    """Integers without a trailing ``.0``; everything else via repr."""
+    if isinstance(v, float) and v.is_integer():
+        return str(int(v))
+    return repr(v)
+
+
+# ---------------------------------------------------------------------------
+# streaming aggregation
+# ---------------------------------------------------------------------------
+
+class DeltaReader:
+    """Incremental snapshot cursor over a :class:`MetricsRegistry`.
+
+    Each :meth:`changed` call returns only the series whose value moved
+    since this reader's previous call — a dashboard polling at 1 Hz
+    serializes the handful of active series, not every series ever
+    created.  Multiple readers keep independent cursors.
+    """
+
+    def __init__(self, registry: MetricsRegistry):
+        self.registry = registry
+        self._last: dict[tuple, Any] = {}
+
+    @staticmethod
+    def _signature(inst: Any) -> Any:
+        if inst.kind == "histogram":
+            return (inst.count, inst.total)
+        return inst.value
+
+    def changed(self, run_collectors: bool = True) -> list[dict]:
+        """Rows (snapshot format) for every series that changed."""
+        if run_collectors:
+            for fn in self.registry._collectors:
+                fn(self.registry)
+        rows = []
+        for key, inst in list(self.registry._instruments.items()):
+            sig = self._signature(inst)
+            if self._last.get(key) == sig:
+                continue
+            self._last[key] = sig
+            rows.append({"name": inst.name, "type": inst.kind,
+                         "labels": dict(inst.labels), **inst.row()})
+        rows.sort(key=lambda r: (r["name"], sorted(r["labels"].items())))
+        return rows
+
+
+class SectorRollup:
+    """Address-ring sector aggregates: O(sectors) series regardless of n.
+
+    The 160-bit ring is cut into ``sectors`` equal arcs; every node lands
+    in arc ``addr * sectors >> 160``.  :meth:`refresh` walks the node
+    population once (cheap direct reads of ``node.table`` /
+    ``node.stats`` — read-only) and publishes per-sector gauges
+    (``ring.sector.nodes``, ``.conns``, ``.route_sent``, ``.route_fwd``,
+    ``.route_dlvd``, ``.route_drops``), so a 100k-node export or
+    dashboard tick renders a fixed handful of rows.  Registered as an
+    export-time collector by
+    :meth:`repro.obs.hub.Observability.enable_rollup`.
+    """
+
+    def __init__(self, registry: MetricsRegistry, nodes_fn: Callable,
+                 sectors: int = 16, space_bits: int = 160):
+        if sectors <= 0:
+            raise ValueError("sectors must be positive")
+        self.registry = registry
+        self.nodes_fn = nodes_fn
+        self.sectors = sectors
+        self.space_bits = space_bits
+        self._width = max(2, len(str(sectors - 1)))
+        self.rows: list[dict] = []
+
+    def sector_of(self, addr: int) -> int:
+        """Arc index of ring address ``addr``."""
+        return (int(addr) * self.sectors) >> self.space_bits
+
+    def label(self, sector: int) -> str:
+        return f"{sector:0{self._width}d}"
+
+    def refresh(self) -> list[dict]:
+        """Recompute the per-sector aggregate rows (also cached on
+        :attr:`rows` for dashboards)."""
+        agg = [{"sector": self.label(i), "nodes": 0, "conns": 0,
+                "route_sent": 0, "route_fwd": 0, "route_dlvd": 0,
+                "route_drops": 0}
+               for i in range(self.sectors)]
+        for node in self.nodes_fn():
+            row = agg[self.sector_of(node.addr)]
+            row["nodes"] += 1
+            row["conns"] += len(node.table)
+            stats = node.stats
+            row["route_sent"] += stats.get("sent", 0)
+            row["route_fwd"] += stats.get("forwarded", 0)
+            row["route_dlvd"] += stats.get("delivered", 0)
+            row["route_drops"] += (stats.get("ttl_drop", 0)
+                                   + stats.get("undeliverable", 0))
+        self.rows = agg
+        return agg
+
+    def collect(self, m: MetricsRegistry) -> None:
+        """Export-time collector: publish the rollup as gauges."""
+        for row in self.refresh():
+            sector = row["sector"]
+            for field in ("nodes", "conns", "route_sent", "route_fwd",
+                          "route_dlvd", "route_drops"):
+                m.gauge(f"ring.sector.{field}", sector=sector).set(
+                    row[field])

@@ -1,0 +1,442 @@
+"""Kernel self-profiler: where does simulation wall-time actually go?
+
+A :class:`KernelProfiler` hooks into :meth:`repro.sim.engine.Simulator.
+step` (and :meth:`repro.transport.runtime.RealtimeKernel._fire`): every
+``stride``-th event is wall-timed with ``perf_counter``, its time and
+call scaled by the stride — unbiased estimates of per-handler totals,
+like any sampling profiler; between samples the kernel pays one counter
+decrement.  Each sample is attributed to
+
+* a **subsystem category** (``routing``, ``linking``, ``codec``,
+  ``flows``, ``nat``, ``phys``, ``fault``, ``obs``, …) derived from the
+  handler function's module, and
+* the **handler** itself (``module.qualname``), with call count, total
+  and max latency.
+
+Alongside the attribution it tracks **kernel health** — event backlog,
+heap tombstone ratio, compaction sweeps, max handler latency — sampled
+every :attr:`KernelProfiler.sample_every` events, and keeps a bounded
+**top-K heavy-node sketch** (Space-Saving / Misra-Gries) so "which nodes
+burn the time" stays O(K) memory even on a 100k-node overlay.
+
+The profiler is **provably read-only**: it never touches the RNG
+registry, never schedules or cancels events, and only *reads* kernel
+counters.  Same-seed runs with profiling on and off therefore produce
+byte-identical export bundles — pinned by
+``tests/obs/test_prof.py``.  The profile outputs themselves
+(``profile.json`` / ``profile.folded``) carry wall-clock timings and are
+deliberately *not* listed in the deterministic export manifest.
+
+``profile.folded`` is flamegraph-compatible collapsed-stack output
+(``wow;<category>;<handler> <microseconds>`` per line) — feed it
+straight to ``flamegraph.pl`` or speedscope.
+"""
+
+from __future__ import annotations
+
+import json
+from types import MethodType
+from typing import Any, Optional
+
+_METHOD = MethodType
+
+#: handler-module prefix → subsystem category (longest prefix wins)
+CATEGORY_PREFIXES: dict[str, str] = {
+    "repro.brunet.linking": "linking",
+    "repro.brunet.overlords": "linking",
+    "repro.brunet": "routing",
+    "repro.ipop.transfer": "flows",
+    "repro.ipop.vtcp": "flows",
+    "repro.ipop.bandwidth": "flows",
+    "repro.ipop": "routing",
+    "repro.wire": "codec",
+    "repro.transport": "codec",
+    "repro.phys.flows": "flows",
+    "repro.phys.nat": "nat",
+    "repro.phys": "phys",
+    "repro.fault": "fault",
+    "repro.obs": "obs",
+    "repro.check": "obs",
+    "repro.sim": "kernel",
+    "repro.middleware": "middleware",
+    "repro.apps": "middleware",
+    "repro.core": "driver",
+    "repro.experiments": "driver",
+}
+
+OTHER = "other"
+
+
+def categorize(module: str) -> str:
+    """Subsystem category for a handler defined in ``module``."""
+    probe = module or ""
+    while probe:
+        cat = CATEGORY_PREFIXES.get(probe)
+        if cat is not None:
+            return cat
+        probe = probe.rpartition(".")[0]
+    return OTHER
+
+
+#: per-handler accumulator cell indices (a plain list, not an object:
+#: the hot path does three in-place updates per event and list cells
+#: keep that to indexed stores with no attribute machinery)
+_CALLS, _TOTAL, _MAX, _MAX_AT, _NAME, _CAT = range(6)
+
+
+class SpaceSavingSketch:
+    """Misra-Gries / Space-Saving heavy-hitter sketch.
+
+    Tracks the (approximately) top-``k`` keys by accumulated weight in
+    O(k) memory.  When a new key arrives with the table full, the
+    minimum-weight entry is evicted and the newcomer inherits its weight
+    as an error bound — classic Space-Saving semantics: any key whose
+    true weight exceeds ``total/k`` is guaranteed to be present.
+
+    Entries live in one dict of ``[weight, count, error]`` cells so the
+    already-tracked fast path (the overwhelmingly common case on the
+    kernel hot path) is a single probe plus two in-place adds.
+    """
+
+    __slots__ = ("k", "table", "evictions")
+
+    def __init__(self, k: int = 32):
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.k = k
+        #: key → [weight, count, error]
+        self.table: dict[str, list] = {}
+        #: eviction epoch: bumped whenever any entry is displaced, so
+        #: callers holding a direct cell reference can cheaply detect
+        #: that their cell may have left the table
+        self.evictions = 0
+
+    def add(self, key: str, weight: float = 1.0) -> None:
+        table = self.table
+        cell = table.get(key)
+        if cell is not None:
+            cell[0] += weight
+            cell[1] += 1
+            return
+        if len(table) < self.k:
+            table[key] = [weight, 1, 0.0]
+            return
+        victim = min(table, key=lambda k2: table[k2][0])
+        floor = table.pop(victim)[0]
+        table[key] = [floor + weight, 1, floor]
+        self.evictions += 1
+
+    def top(self, n: Optional[int] = None) -> list[tuple[str, float]]:
+        """Keys by descending weight (name ties broken alphabetically)."""
+        items = sorted(((k, cell[0]) for k, cell in self.table.items()),
+                       key=lambda kv: (-kv[1], kv[0]))
+        return items if n is None else items[:n]
+
+    # materialized views (reporting/tests; not on the hot path)
+    @property
+    def weights(self) -> dict[str, float]:
+        return {k: cell[0] for k, cell in self.table.items()}
+
+    @property
+    def counts(self) -> dict[str, int]:
+        return {k: cell[1] for k, cell in self.table.items()}
+
+    @property
+    def errors(self) -> dict[str, float]:
+        return {k: cell[2] for k, cell in self.table.items()}
+
+
+class KernelProfiler:
+    """Wall-time + event-count attribution for one kernel.
+
+    Attach via :meth:`repro.obs.hub.Observability.enable_profiler` (which
+    sets ``sim.profiler``); :meth:`account` is then called by the kernel
+    once per fired event.  Everything here is bounded: per-handler stats
+    are O(distinct handlers), the node sketch is O(top_k), and health is
+    a handful of scalars.
+    """
+
+    __slots__ = ("top_k", "sample_every", "stride", "handlers", "nodes",
+                 "backlog_last", "backlog_max", "tombstone_ratio_last",
+                 "tombstone_ratio_max", "compactions", "health_samples",
+                 "_owners", "_tick", "_stride_tick", "_scale")
+
+    def __init__(self, top_k: int = 32, sample_every: int = 1024,
+                 stride: int = 4):
+        if sample_every <= 0:
+            raise ValueError("sample_every must be positive")
+        if stride <= 0:
+            raise ValueError("stride must be positive")
+        self.top_k = top_k
+        self.sample_every = sample_every
+        #: timing stride: every ``stride``-th event is *sampled* —
+        #: wall-timed and attributed, with both its ``dt`` and its call
+        #: scaled by ``stride`` into unbiased estimates of each
+        #: handler's totals.  Between samples the kernel pays one
+        #: counter decrement and nothing else, which is what keeps
+        #: profiling cheap enough to leave on (the sampled path costs
+        #: ~1µs: two clock reads + attribution).  ``stride=1`` times
+        #: every event, making all attribution exact.
+        self.stride = stride
+        self._stride_tick = 1  # countdown; kernels decrement it in-line
+        self._scale = float(stride)
+        #: handler key → ``[calls, total_s, max_s, max_at, name,
+        #: category]`` cell (see the ``_CALLS`` … index constants)
+        self.handlers: dict[Any, list] = {}
+        self.nodes = SpaceSavingSketch(k=top_k)
+        #: memoized ``id(owner)`` → ``[owner, node-name, sketch-cell,
+        #: eviction-epoch]`` ('' / None = unowned).  Keyed by id so
+        #: arbitrary receivers (including unhashable ones) cost one
+        #: int-dict probe per event; the owner ref in the value pins the
+        #: object so its id cannot be reused.  The sketch cell rides in
+        #: the memo so the common case is two in-place adds with no
+        #: string hashing; the epoch detects displacement by eviction.
+        #: Bounded by distinct per-node subsystem objects per run.
+        self._owners: dict[int, list] = {}
+        self._tick = sample_every  # countdown to the next health sample
+        # kernel health
+        self.backlog_last = 0
+        self.backlog_max = 0
+        self.tombstone_ratio_last = 0.0
+        self.tombstone_ratio_max = 0.0
+        self.compactions = 0
+        self.health_samples = 0
+
+    # ------------------------------------------------------------------
+    # hot path (kernels call account() once per *sampled* event)
+    # ------------------------------------------------------------------
+    def account(self, fn: Any, dt: float, kernel: Any) -> None:
+        """Attribute one *sampled* handler invocation of ``dt``
+        wall-seconds (both the time and the call are scaled by the
+        stride into unbiased estimates of the handler's totals).
+
+        This runs once per sampled event, so it is written for
+        straight-line speed: bound-method unwrap via ``__func__`` (the
+        underlying function is the stable identity — bound methods are
+        fresh objects per schedule), one dict probe per side table,
+        in-place list-cell updates, and no derived aggregates
+        (``events`` / ``total_s`` / the global max are computed from the
+        cells at reporting time).
+        """
+        est = dt * self._scale
+        if fn.__class__ is _METHOD:
+            key = fn.__func__
+            owner = fn.__self__
+        else:  # plain function handler
+            key = fn
+            owner = None
+        # subscripts, not .get(): hits are the overwhelming norm and a
+        # no-raise try block is free on 3.11+
+        try:
+            cell = self.handlers[key]
+        except KeyError:
+            cell = self._new_handler(fn, key)
+        cell[0] += 1
+        cell[1] += est
+        if dt > cell[2]:
+            cell[2] = dt
+            cell[3] = kernel.now
+        # heavy-node attribution: bound methods of node-owned objects
+        if owner is not None:
+            try:
+                entry = self._owners[id(owner)]
+            except KeyError:
+                self._node_slow(owner, est)
+            else:
+                ncell = entry[2]
+                if ncell is not None:
+                    if entry[3] == self.nodes.evictions:
+                        ncell[0] += est
+                        ncell[1] += 1
+                    else:  # cell may have been displaced: re-bind
+                        self._node_slow(owner, est)
+        tick = self._tick - 1
+        if tick:
+            self._tick = tick
+        else:
+            self._tick = self.sample_every
+            self._sample_health(kernel)
+
+    def _new_handler(self, fn: Any, key: Any) -> list:
+        """Slow path: first sighting of a handler function."""
+        module = getattr(fn, "__module__", "") or ""
+        qualname = getattr(fn, "__qualname__", repr(fn))
+        cell = [0, 0.0, 0.0, 0.0,
+                f"{module}.{qualname}", categorize(module)]
+        self.handlers[key] = cell
+        return cell
+
+    def _node_slow(self, owner: Any, dt: float) -> None:
+        """Slow path: first sighting of a bound-method receiver, or its
+        memoized sketch cell was invalidated by an eviction.  A node name
+        is found directly (``owner.name``) or one hop away
+        (``owner.node.name``); anything else memoizes as unowned."""
+        oid = id(owner)
+        entry = self._owners.get(oid)
+        if entry is None:
+            name = getattr(owner, "name", None)
+            if name is None:
+                node = getattr(owner, "node", None)
+                name = getattr(node, "name", None)
+            if name.__class__ is not str:
+                self._owners[oid] = [owner, "", None, -1]
+                return
+            entry = [owner, name, None, -1]
+            self._owners[oid] = entry
+        name = entry[1]
+        if not name:
+            return
+        nodes = self.nodes
+        table = nodes.table
+        cell = table.get(name)
+        if cell is not None:
+            cell[0] += dt
+            cell[1] += 1
+        else:
+            nodes.add(name, dt)
+            cell = table[name]
+        entry[2] = cell
+        entry[3] = nodes.evictions
+
+    def _sample_health(self, kernel: Any) -> None:
+        """Periodic read-only peek at kernel queue health."""
+        self.health_samples += 1
+        pending = getattr(kernel, "pending", None)
+        if pending is not None:
+            backlog = pending()
+            self.backlog_last = backlog
+            if backlog > self.backlog_max:
+                self.backlog_max = backlog
+        queue = getattr(kernel, "_queue", None)
+        if queue:
+            ratio = getattr(kernel, "_heap_dead", 0) / len(queue)
+            self.tombstone_ratio_last = ratio
+            if ratio > self.tombstone_ratio_max:
+                self.tombstone_ratio_max = ratio
+        self.compactions = getattr(kernel, "compactions", 0)
+
+    # ------------------------------------------------------------------
+    # reporting (aggregates are derived from the cells here, off the
+    # hot path)
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> int:
+        """Estimated total events accounted (exact when ``stride=1``)."""
+        return self.stride * sum(cell[_CALLS]
+                                 for cell in self.handlers.values())
+
+    @property
+    def total_s(self) -> float:
+        """Estimated total handler wall-seconds (exact when
+        ``stride=1``)."""
+        return sum(cell[_TOTAL] for cell in self.handlers.values())
+
+    def max_handler(self) -> tuple[float, str]:
+        """(seconds, name) of the slowest single *timed* invocation."""
+        max_s, max_name = 0.0, ""
+        for cell in self.handlers.values():
+            if cell[_MAX] > max_s:
+                max_s, max_name = cell[_MAX], cell[_NAME]
+        return max_s, max_name
+
+    def category_totals(self) -> dict[str, dict[str, float]]:
+        """Aggregated ``{category: {calls, time_s}}`` across handlers
+        (stride-scaled estimates, exact when ``stride=1``)."""
+        stride = self.stride
+        out: dict[str, dict[str, float]] = {}
+        for cell in self.handlers.values():
+            agg = out.setdefault(cell[_CAT],
+                                 {"calls": 0, "time_s": 0.0})
+            agg["calls"] += cell[_CALLS] * stride
+            agg["time_s"] += cell[_TOTAL]
+        return out
+
+    def summary(self, top_handlers: int = 40) -> dict:
+        """JSON-ready profile: categories, handlers, health, hot nodes."""
+        total_s = self.total_s
+        total = total_s or 1e-12
+        categories = {
+            cat: {"calls": agg["calls"],
+                  "time_s": round(agg["time_s"], 6),
+                  "share": round(agg["time_s"] / total, 4)}
+            for cat, agg in sorted(self.category_totals().items())
+        }
+        handlers = sorted(self.handlers.values(),
+                          key=lambda c: (-c[_TOTAL], c[_NAME]))
+        stride = self.stride
+        handler_rows = [
+            {"handler": c[_NAME], "category": c[_CAT],
+             "calls": c[_CALLS] * stride,
+             "time_s": round(c[_TOTAL], 6),
+             "max_ms": round(c[_MAX] * 1e3, 3),
+             "max_at": round(c[_MAX_AT], 3)}
+            for c in handlers[:top_handlers]
+        ]
+        hot = [{"node": node, "time_s": round(w, 6),
+                "calls": self.nodes.counts.get(node, 0) * stride,
+                "error_s": round(self.nodes.errors.get(node, 0.0), 6)}
+               for node, w in self.nodes.top(self.top_k)]
+        max_s, max_name = self.max_handler()
+        return {
+            "events": self.events,
+            "wall_s": round(total_s, 6),
+            "categories": categories,
+            "handlers": handler_rows,
+            "hot_nodes": hot,
+            "health": {
+                "backlog_last": self.backlog_last,
+                "backlog_max": self.backlog_max,
+                "tombstone_ratio_last": round(self.tombstone_ratio_last, 4),
+                "tombstone_ratio_max": round(self.tombstone_ratio_max, 4),
+                "compactions": self.compactions,
+                "samples": self.health_samples,
+                "max_handler_ms": round(max_s * 1e3, 3),
+                "max_handler": max_name,
+            },
+        }
+
+    def export_json(self, path: str) -> str:
+        """Write :meth:`summary` as indented JSON; returns ``path``."""
+        with open(path, "w") as fh:
+            json.dump(self.summary(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        return path
+
+    def export_folded(self, path: str) -> str:
+        """Write flamegraph collapsed stacks (µs weights); returns
+        ``path``.  One line per handler: ``wow;<category>;<handler> <µs>``,
+        sorted by stack name so the file layout is stable."""
+        lines = []
+        for cell in self.handlers.values():
+            usec = int(round(cell[_TOTAL] * 1e6))
+            if usec <= 0:
+                usec = 1  # flamegraph drops zero-weight frames
+            lines.append(f"wow;{cell[_CAT]};{cell[_NAME]} {usec}")
+        lines.sort()
+        with open(path, "w") as fh:
+            fh.write("\n".join(lines) + ("\n" if lines else ""))
+        return path
+
+    def format_summary(self, top: int = 8) -> str:
+        """Console one-pager: category shares + hottest handlers/nodes."""
+        s = self.summary(top_handlers=top)
+        out = [f"kernel profile: {s['events']} events, "
+               f"{s['wall_s'] * 1e3:.1f}ms handler wall time"]
+        for cat, agg in sorted(s["categories"].items(),
+                               key=lambda kv: -kv[1]["time_s"]):
+            bar = "#" * max(1, int(round(agg["share"] * 40)))
+            out.append(f"  {cat:10s} {agg['share'] * 100:5.1f}% "
+                       f"{agg['time_s'] * 1e3:9.1f}ms "
+                       f"{agg['calls']:>9d} ev  {bar}")
+        h = s["health"]
+        out.append(f"  health: backlog {h['backlog_last']} "
+                   f"(max {h['backlog_max']}), tombstones "
+                   f"{h['tombstone_ratio_last'] * 100:.0f}% "
+                   f"(max {h['tombstone_ratio_max'] * 100:.0f}%), "
+                   f"{h['compactions']} compactions, slowest handler "
+                   f"{h['max_handler_ms']:.2f}ms {h['max_handler']}")
+        if s["hot_nodes"]:
+            hot = ", ".join(f"{n['node']}({n['time_s'] * 1e3:.1f}ms)"
+                            for n in s["hot_nodes"][:top])
+            out.append(f"  hot nodes: {hot}")
+        return "\n".join(out)

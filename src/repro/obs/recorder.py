@@ -7,13 +7,23 @@ keeps only the last ``capacity`` events per node in memory — the
 every evicted event to a JSONL file so the complete history is still on
 disk while memory stays O(nodes × capacity).
 
+The spill itself is bounded too: with ``max_bytes`` set, the file
+rotates once a segment would exceed the cap — the live file is renamed
+to ``<spill_path>.1`` (``.2``, … — higher numbers are newer) and a fresh
+segment is opened; ``compress_rotated=True`` gzips each rotated segment
+(``<spill_path>.1.gz``).  A 10k-node churn run can then record forever
+in O(max_bytes × segments-you-keep) disk.
+
 Events carry simulation time only, so a spill file from a fixed-seed run
-is byte-identical across runs.
+is byte-identical across runs (rotation points included: they depend
+only on the byte stream).
 """
 
 from __future__ import annotations
 
+import gzip
 import json
+import os
 from collections import deque
 from typing import Any, Optional
 
@@ -22,14 +32,24 @@ class FlightRecorder:
     """Fixed-size ring of recent events per node, with optional spill."""
 
     def __init__(self, capacity: int = 256,
-                 spill_path: Optional[str] = None):
+                 spill_path: Optional[str] = None,
+                 max_bytes: Optional[int] = None,
+                 compress_rotated: bool = False):
         if capacity <= 0:
             raise ValueError("capacity must be positive")
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
         self.capacity = capacity
         self.rings: dict[str, deque] = {}
         self.recorded = 0
         self.evicted = 0
         self.spill_path = spill_path
+        self.max_bytes = max_bytes
+        self.compress_rotated = compress_rotated
+        self.rotations = 0
+        #: rotated segment paths, oldest first
+        self.rotated_paths: list[str] = []
+        self._spill_bytes = 0
         self._spill = open(spill_path, "w") if spill_path else None
 
     def record(self, t: float, node: str, category: str,
@@ -66,7 +86,34 @@ class FlightRecorder:
                                                    type(None)))
                                else str(v)) for k, v in data.items()}
         assert self._spill is not None
-        self._spill.write(json.dumps(row, sort_keys=True) + "\n")
+        line = json.dumps(row, sort_keys=True) + "\n"
+        if (self.max_bytes is not None and self._spill_bytes > 0
+                and self._spill_bytes + len(line) > self.max_bytes):
+            self._rotate()
+        self._spill.write(line)
+        self._spill_bytes += len(line)
+
+    def _rotate(self) -> None:
+        """Seal the current segment as ``<path>.<n>`` (gzipped when
+        configured) and open a fresh one.  An oversize single line never
+        rotates an empty segment — it lands alone in the current one."""
+        assert self._spill is not None and self.spill_path is not None
+        self._spill.close()
+        self.rotations += 1
+        target = f"{self.spill_path}.{self.rotations}"
+        os.replace(self.spill_path, target)
+        if self.compress_rotated:
+            # mtime=0 and an empty embedded filename keep the compressed
+            # segment byte-identical across same-seed runs
+            with open(target, "rb") as raw, open(target + ".gz", "wb") as out:
+                with gzip.GzipFile(filename="", mode="wb", fileobj=out,
+                                   compresslevel=6, mtime=0) as gz:
+                    gz.write(raw.read())
+            os.remove(target)
+            target += ".gz"
+        self.rotated_paths.append(target)
+        self._spill = open(self.spill_path, "w")
+        self._spill_bytes = 0
 
     def flush(self) -> None:
         """Spill everything still held in the rings (kept in the rings

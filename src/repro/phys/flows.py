@@ -181,7 +181,9 @@ class Flow:
     def set_path(self, path: Iterable[Resource],
                  rate_cap: Optional[float] = None) -> None:
         """Re-route the flow (keeps transferred bytes)."""
-        if self.completed:
+        if self.completed or self not in self.manager.flows:
+            # completed or cancelled: re-pathing would re-register the
+            # flow on the resources and let it steal live flows' share
             return
         old_path = list(self.path)
         if rate_cap is not None and self._cap_resource is not None:
@@ -192,6 +194,8 @@ class Flow:
 
     def set_rate_cap(self, rate_cap: float) -> None:
         """Install/update a per-flow rate ceiling (e.g. window/RTT)."""
+        if self.completed or self not in self.manager.flows:
+            return
         if self._cap_resource is None:
             self._set_path_internal(self.path, rate_cap)
             self.manager.request_recompute(self.path)
@@ -206,7 +210,8 @@ class Flow:
 
     def pause(self) -> None:
         """Freeze progress at rate 0 (e.g. across a migration outage)."""
-        if not self.paused and not self.completed:
+        if (not self.paused and not self.completed
+                and self in self.manager.flows):
             self._sync(self.manager.sim.now)
             self.paused = True
             self._log_point()
@@ -214,7 +219,8 @@ class Flow:
 
     def resume(self) -> None:
         """Undo :meth:`pause`; rates are recomputed immediately."""
-        if self.paused and not self.completed:
+        if self.paused and not self.completed \
+                and self in self.manager.flows:
             self.paused = False
             self._log_point()
             self.manager.request_recompute(self.path)

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import heapq
 import math
+from time import perf_counter
 from typing import Any, Callable, Iterator, Optional
 
 from repro.obs.hub import Observability
@@ -130,6 +131,12 @@ class Simulator:
         #: True while an event callback is executing (used by subsystems
         #: that coalesce work until the end of the current event)
         self.executing = False
+        #: optional :class:`~repro.obs.prof.KernelProfiler` — when set,
+        #: :meth:`step` wall-times every stride-th handler into it
+        #: (read-only: attaching one never changes the event trajectory)
+        self.profiler = None
+        #: lazy-compaction sweeps performed so far (kernel-health signal)
+        self.compactions = 0
         self.rng = RngRegistry(seed)
         self.tracer = Tracer(enabled=trace, max_records=trace_max_records)
         #: metrics registry + span collector + flight recorder (see
@@ -197,6 +204,7 @@ class Simulator:
         self._queue = [e for e in self._queue if not e[3].cancelled]
         heapq.heapify(self._queue)
         self._heap_dead = 0
+        self.compactions += 1
 
     def _head(self) -> Optional[Event]:
         """The next live event (without popping), or None.
@@ -238,10 +246,31 @@ class Simulator:
         self.events_processed += 1
         self._live -= 1
         self.executing = True
-        try:
-            ev.fn(*ev.args)
-        finally:
-            self.executing = False
+        prof = self.profiler
+        if prof is None:
+            try:
+                ev.fn(*ev.args)
+            finally:
+                self.executing = False
+        else:
+            # sampling stride: every stride-th event is wall-timed and
+            # attributed; the rest pay one decrement (KernelProfiler
+            # scales the samples back into totals)
+            tick = prof._stride_tick - 1
+            if tick:
+                prof._stride_tick = tick
+                try:
+                    ev.fn(*ev.args)
+                finally:
+                    self.executing = False
+            else:
+                prof._stride_tick = prof.stride
+                t0 = perf_counter()
+                try:
+                    ev.fn(*ev.args)
+                finally:
+                    self.executing = False
+                    prof.account(ev.fn, perf_counter() - t0, self)
         return True
 
     def run(self, until: Optional[float] = None,

@@ -22,6 +22,8 @@ loudly rather than silently misbehaving.
 from __future__ import annotations
 
 import asyncio
+import json
+from time import perf_counter
 from typing import Any, Callable, Optional
 
 from repro.obs.hub import Observability
@@ -58,6 +60,11 @@ class RealtimeKernel:
         #: mirrors ``Simulator.executing``; subsystems use it to coalesce
         #: work until the end of the current callback
         self.executing = False
+        #: optional :class:`~repro.obs.prof.KernelProfiler` (same hook
+        #: contract as ``Simulator.profiler``: every fired callback is
+        #: counted, every stride-th one wall-timed into it)
+        self.profiler = None
+        self._stats_transport: Optional[asyncio.DatagramTransport] = None
 
     # -- clock ----------------------------------------------------------
     @property
@@ -81,10 +88,63 @@ class RealtimeKernel:
     def _fire(self, fn: Callable[..., Any], args: tuple) -> None:
         self.events_processed += 1
         self.executing = True
-        try:
-            fn(*args)
-        finally:
-            self.executing = False
+        prof = self.profiler
+        if prof is None:
+            try:
+                fn(*args)
+            finally:
+                self.executing = False
+        else:
+            tick = prof._stride_tick - 1
+            if tick:
+                prof._stride_tick = tick
+                try:
+                    fn(*args)
+                finally:
+                    self.executing = False
+            else:
+                prof._stride_tick = prof.stride
+                t0 = perf_counter()
+                try:
+                    fn(*args)
+                finally:
+                    self.executing = False
+                    prof.account(fn, perf_counter() - t0, self)
+
+    # -- stats socket -----------------------------------------------------
+    async def serve_stats(self, host: str = "127.0.0.1",
+                          port: int = 0) -> tuple[str, int]:
+        """Expose a UDP stats socket: any datagram is answered with one
+        JSON snapshot (see :func:`repro.obs.top.build_stats`) — the
+        attach point for ``python -m repro.obs.top --connect ip:port``
+        against a long-running daemon.  Returns the bound ``(ip, port)``.
+        """
+        from repro.obs.top import build_stats
+        kernel = self
+
+        class _StatsProtocol(asyncio.DatagramProtocol):
+            def connection_made(self, transport) -> None:
+                self.transport = transport
+
+            def datagram_received(self, data: bytes, addr) -> None:
+                try:
+                    payload = json.dumps(
+                        build_stats(kernel), sort_keys=True).encode()
+                except Exception:  # pragma: no cover - stats must not kill
+                    payload = b"{}"
+                self.transport.sendto(payload, addr)
+
+        transport, _ = await self.loop.create_datagram_endpoint(
+            _StatsProtocol, local_addr=(host, port))
+        self._stats_transport = transport
+        sockname = transport.get_extra_info("sockname")
+        return sockname[0], sockname[1]
+
+    def close_stats(self) -> None:
+        """Tear down the stats socket (idempotent)."""
+        if self._stats_transport is not None:
+            self._stats_transport.close()
+            self._stats_transport = None
 
     # -- tracing ---------------------------------------------------------
     @property

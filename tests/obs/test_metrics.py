@@ -126,3 +126,56 @@ def test_export_deterministic_and_sorted(tmp_path):
     assert csv[0] == "name,labels,type,value,count,sum"
     assert csv[1].startswith("a.first,node=y,counter,1")
     assert any(line.startswith("c.hist,,histogram,,1,3.0") for line in csv)
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+def test_export_prom_counters_and_gauges(tmp_path):
+    m = MetricsRegistry()
+    m.counter("brunet.route.sent", node="a").inc(3)
+    m.counter("brunet.route.sent", node="b").inc(2)
+    m.gauge("sim.now").set(12.5)
+    text = open(m.export_prom(str(tmp_path / "m.prom"))).read()
+    lines = text.splitlines()
+    # dots mangle to underscores; one TYPE line per family
+    assert lines.count("# TYPE brunet_route_sent counter") == 1
+    assert 'brunet_route_sent{node="a"} 3' in lines
+    assert 'brunet_route_sent{node="b"} 2' in lines
+    assert "# TYPE sim_now gauge" in lines
+    assert "sim_now 12.5" in lines
+    # integer-valued floats render without a trailing .0
+    assert "brunet_route_sent{node=\"a\"} 3.0" not in text
+
+
+def test_export_prom_histogram_cumulative(tmp_path):
+    m = MetricsRegistry()
+    h = m.histogram("brunet.route.hops", node="a")
+    for v in (0.5, 3.0, 3.5, 1000.0):
+        h.observe(v)
+    lines = open(m.export_prom(str(tmp_path / "m.prom"))).read().splitlines()
+    assert "# TYPE brunet_route_hops histogram" in lines
+    bucket = [line for line in lines if "_bucket" in line]
+    # cumulative counts: le=1 → 1, le=4 → 3, le=1024 → 4, +Inf → 4
+    assert 'brunet_route_hops_bucket{le="1",node="a"} 1' in bucket
+    assert 'brunet_route_hops_bucket{le="4",node="a"} 3' in bucket
+    assert 'brunet_route_hops_bucket{le="1024",node="a"} 4' in bucket
+    assert 'brunet_route_hops_bucket{le="+Inf",node="a"} 4' in bucket
+    assert 'brunet_route_hops_sum{node="a"} 1007' in lines
+    assert 'brunet_route_hops_count{node="a"} 4' in lines
+
+
+def test_export_prom_deterministic(tmp_path):
+    m = MetricsRegistry()
+    m.counter("z.last").inc()
+    m.counter("a.first", node="n").inc(2)
+    m.histogram("h").observe(1.0)
+    p1 = open(m.export_prom(str(tmp_path / "p1.prom")), "rb").read()
+    p2 = open(m.export_prom(str(tmp_path / "p2.prom")), "rb").read()
+    assert p1 == p2
+
+
+def test_export_prom_empty_registry(tmp_path):
+    m = MetricsRegistry()
+    assert open(m.export_prom(str(tmp_path / "e.prom"))).read() == ""

@@ -176,3 +176,22 @@ def test_incremental_equals_full_under_random_churn(ops):
     assert set(incremental) == set(full)
     for name in full:
         assert incremental[name] == pytest.approx(full[name], abs=1e-6), name
+
+
+def test_mutating_a_cancelled_flow_is_inert(mgr):
+    """Hypothesis-found: set_path on a cancelled flow re-registered it on
+    the resources, letting a zombie steal live flows' share."""
+    sim, fm = mgr
+    r = Resource("r", 50.0)
+    f0 = Flow(fm, "f0", 1e9, [r])
+    f1 = Flow(fm, "f1", 1e9, [r])
+    f0.cancel()
+    assert f1.rate == pytest.approx(50.0)
+    f0.set_path([r])
+    f0.pause()
+    f0.resume()
+    f0.set_rate_cap(10.0)
+    assert r.flows == {f1}
+    assert not f0.paused
+    assert f1.rate == pytest.approx(50.0)
+    assert {f.name: f.rate for f in fm.flows} == _full_rates(fm)
