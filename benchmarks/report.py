@@ -107,6 +107,30 @@ def bench_next_hop() -> float:
     return n / (time.perf_counter() - t0)
 
 
+def bench_ring_lookup() -> float:
+    """RingIndex successor/nearest/neighbors queries over a 10k-entry
+    ring — the array-state hot path behind census surveys, warm-start
+    wiring and the sector rollup (PR-9's bisect refactor target)."""
+    import numpy as np
+
+    from repro.brunet.address import random_address
+    from repro.brunet.ring import RingIndex
+
+    rng = np.random.default_rng(0)
+    idx = RingIndex()
+    for i in range(10_000):
+        idx.add(int(random_address(rng)), i)
+    probes = [int(random_address(rng)) for _ in range(256)]
+    n = 30_000
+    t0 = time.perf_counter()
+    for i in range(n):
+        p = probes[i & 255]
+        idx.successor(p)
+        idx.nearest(p)
+        idx.neighbors(p, per_side=2)
+    return n * 3 / (time.perf_counter() - t0)  # 3 queries per iteration
+
+
 def bench_flow_churn() -> float:
     """Flow add/remove churn across disjoint resource components — the
     incremental-fairness target (fig8's job arrival/completion pattern)."""
@@ -228,6 +252,15 @@ def bench_obs_overhead() -> tuple[float, float]:
     return off, on
 
 
+def bench_scaling10k(n_nodes: int) -> float:
+    """Warm-start formation + settle + survey on the sharded kernel."""
+    from repro.experiments import scaling_10k
+    t0 = time.perf_counter()
+    scaling_10k.measure_point(n_nodes, seed=0, settle=30.0,
+                              sample_pairs=200, audit=False)
+    return time.perf_counter() - t0
+
+
 def bench_scaling(n_nodes: int) -> float:
     from repro.experiments import scaling
     t0 = time.perf_counter()
@@ -266,6 +299,7 @@ def run_benches(smoke: bool) -> dict:
         "event_throughput_ops_per_s": _best_of(bench_event_throughput),
         "event_churn_ops_per_s": _best_of(bench_event_churn),
         "next_hop_ops_per_s": _best_of(bench_next_hop),
+        "ring_lookup_ops_per_s": _best_of(bench_ring_lookup),
         "flow_churn_ops_per_s": _best_of(bench_flow_churn),
         "wire_encode_ops_per_s": _best_of(bench_wire_encode),
         "wire_decode_ops_per_s": _best_of(bench_wire_decode),
@@ -277,6 +311,7 @@ def run_benches(smoke: bool) -> dict:
     experiments = {"scaling_64_s": bench_scaling(64)}
     if not smoke:
         experiments["scaling_128_s"] = bench_scaling(128)
+        experiments["scaling10k_1000_s"] = bench_scaling10k(1000)
         experiments["joincdf_3_s"] = bench_joincdf(3)
         experiments["fig8_200_s"] = bench_fig8(200)
     return {
@@ -316,6 +351,9 @@ RATIO_FLOORS = {
     "wire_decode_ops_per_s": 0.055,   # ≥10× the pre-codec-v2 90k baseline
     "wire_peek_ops_per_s": 0.030,     # header-only transit fast path
     "flow_churn_ops_per_s": 6.0e-4,   # ≥10× the component-solver 1.3k
+    "ring_lookup_ops_per_s": 0.015,   # bisect ring index (~0.033 typical);
+                                      # a linear-scan regression lands ~10×
+                                      # below this on a 10k ring
 }
 
 #: the kernel self-profiler may cost at most this fraction of churn-mix

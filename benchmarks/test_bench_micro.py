@@ -77,6 +77,24 @@ def test_greedy_next_hop_decision(benchmark):
         assert ring_distance(conn.peer_addr, dest) < ring_distance(me, dest)
 
 
+def test_ring_index_lookup(benchmark):
+    """Bisect ring queries over a 10k-entry index (census/warm-start
+    hot path)."""
+    from repro.brunet.ring import RingIndex
+    rng = np.random.default_rng(7)
+    idx = RingIndex()
+    for i in range(10_000):
+        idx.add(int(random_address(rng)), i)
+    probe = int(random_address(rng))
+
+    def lookups():
+        idx.successor(probe)
+        idx.nearest(probe)
+        return idx.neighbors(probe, per_side=2)
+
+    assert len(benchmark(lookups)) == 4
+
+
 def test_flow_rate_recompute(benchmark):
     sim = Simulator(seed=2, trace=False)
     fm = FlowManager(sim)

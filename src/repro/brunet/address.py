@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import hashlib
 import math
+from bisect import bisect_left
+from typing import Sequence
 
 import numpy as np
 
@@ -87,6 +89,51 @@ def kleinberg_far_target(me: int, rng: np.random.Generator,
     distance = int(2.0 ** exponent)
     sign = 1 if rng.random() < 0.5 else -1
     return BrunetAddress(me + sign * distance)
+
+
+# ---------------------------------------------------------------------------
+# bisect primitives over a *sorted* array of ring addresses
+#
+# These are the shared lookup kernels behind the array-backed overlay state
+# (per-node ring views in ConnectionTable, the global RingIndex, census and
+# invariant sweeps).  ``addrs`` must be sorted ascending and non-empty; all
+# three wrap around the ring, so index arithmetic is mod len(addrs).
+# ---------------------------------------------------------------------------
+
+def successor_index(addrs: Sequence[int], target: int) -> int:
+    """Index of the first address at-or-clockwise-of ``target`` (wraps).
+
+    ``addrs[successor_index(addrs, t)] == t`` when ``t`` is present.
+    """
+    return bisect_left(addrs, target) % len(addrs)
+
+
+def predecessor_index(addrs: Sequence[int], target: int) -> int:
+    """Index of the nearest address strictly counter-clockwise of
+    ``target`` (wraps).  When ``target`` is present it is *not* its own
+    predecessor — except in a one-element array, where there is no other
+    choice."""
+    return (bisect_left(addrs, target) - 1) % len(addrs)
+
+
+def nearest_index(addrs: Sequence[int], target: int) -> int:
+    """Index minimizing :func:`ring_distance` to ``target``.
+
+    The global minimum is always at the successor or the predecessor; an
+    exact tie (one candidate per side) goes to the lower address, matching
+    the insertion-order-free tie-break used everywhere since PR 5.
+    """
+    n = len(addrs)
+    i = bisect_left(addrs, target) % n
+    j = (i - 1) % n
+    if i == j:
+        return i
+    ai, aj = addrs[i], addrs[j]
+    di = ring_distance(ai, target)
+    dj = ring_distance(aj, target)
+    if di < dj or (di == dj and ai < aj):
+        return i
+    return j
 
 
 def is_between_cw(a: int, x: int, b: int) -> bool:

@@ -33,6 +33,15 @@ class BrunetConfig:
     # -- keep-alive (§IV-B "ping messages") ------------------------------
     ping_interval: float = 15.0
     ping_retries: int = 3
+    #: route periodic work (keep-alive sweeps, overlord ticks) through the
+    #: kernel's shared :class:`~repro.sim.engine.SweepWheel` instead of one
+    #: independent timer per node/overlord.  Off by default — batching
+    #: quantizes timing to ``sweep_granularity`` and therefore changes
+    #: same-seed trajectories; the 10k-node scaling runs turn it on, where
+    #: n independent keep-alive timers would dominate the event kernel.
+    batch_timers: bool = False
+    #: sweep-wheel bucket width (seconds) when ``batch_timers`` is on
+    sweep_granularity: float = 1.0
     #: a connection with this many consecutive unanswered pings is dropped
     ping_timeout: float = 4.0
     #: hard liveness backstop: drop a connection when *nothing* has been

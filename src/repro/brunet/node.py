@@ -32,6 +32,7 @@ from repro.brunet.messages import (
 from repro.brunet.routing import next_hop
 from repro.brunet.table import ConnectionTable
 from repro.brunet.uri import Uri, UriSet
+from repro.sim.engine import sweep_wheel
 from repro import wire
 from repro.obs.spans import TraceRef
 from repro.phys.endpoints import Endpoint
@@ -152,8 +153,7 @@ class BrunetNode:
         ]
         for o in self.overlords:
             o.start()
-        self._ping_timer = self.sim.schedule(
-            self.config.ping_interval / 2, self._ping_tick)
+        self._schedule_ping()
         self.trace("node.start")
 
     def stop(self) -> None:
@@ -167,6 +167,10 @@ class BrunetNode:
         self.linker.cancel_all()
         if self._ping_timer is not None:
             self._ping_timer.cancel()
+            self._ping_timer = None
+        if self.config.batch_timers:
+            sweep_wheel(self.sim, self.config.sweep_granularity).cancel(
+                self._sweep_key)
         if self.transport is not None:
             self.transport.close()
         self.table.clear()
@@ -464,6 +468,21 @@ class BrunetNode:
     # ------------------------------------------------------------------
     # keep-alive (§IV-B)
     # ------------------------------------------------------------------
+    @property
+    def _sweep_key(self) -> tuple:
+        """Shared-wheel key: address first, so batched sweeps walk due
+        connections in ring-address order."""
+        return (int(self.addr), self.name, "ping")
+
+    def _schedule_ping(self) -> None:
+        cfg = self.config
+        delay = cfg.ping_interval / 2
+        if cfg.batch_timers:
+            sweep_wheel(self.sim, cfg.sweep_granularity).schedule(
+                self._sweep_key, delay, self._ping_tick)
+        else:
+            self._ping_timer = self.sim.schedule(delay, self._ping_tick)
+
     def _ping_tick(self) -> None:
         if not self.active:
             return
@@ -484,8 +503,7 @@ class BrunetNode:
                 req = PingRequest(self.next_token(), self.addr)
                 conn.unanswered_pings += 1
                 self.send_direct(conn.remote_endpoint, req, cfg.size_ping)
-        self._ping_timer = self.sim.schedule(cfg.ping_interval / 2,
-                                             self._ping_tick)
+        self._schedule_ping()
 
     def _handle_ping_request(self, msg: PingRequest, src: Endpoint) -> None:
         conn = self.table.get(msg.sender_addr)

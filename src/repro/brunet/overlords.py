@@ -22,6 +22,7 @@ from repro.brunet.address import (
     kleinberg_far_target,
 )
 from repro.brunet.connection import Connection, ConnectionType
+from repro.sim.engine import sweep_wheel
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.brunet.node import BrunetNode
@@ -41,20 +42,36 @@ class Overlord:
         """Begin periodic maintenance (first tick runs immediately)."""
         self.tick_safe()
 
+    @property
+    def _sweep_key(self) -> tuple:
+        """Shared-wheel key: address first, so batched overlord ticks
+        walk the ring in address order."""
+        return (int(self.node.addr), self.node.name,
+                f"overlord.{type(self).__name__}")
+
     def stop(self) -> None:
         """Cancel future ticks (node shutdown)."""
         self._stopped = True
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
+        node = self.node
+        if node.config.batch_timers:
+            sweep_wheel(node.sim, node.config.sweep_granularity).cancel(
+                self._sweep_key)
 
     def tick_safe(self) -> None:
         """Run one tick if the node is alive, then reschedule."""
         if self._stopped or not self.node.active:
             return
         self.tick()
-        interval = getattr(self.node.config, self.interval_attr)
-        self._timer = self.node.sim.schedule(interval, self.tick_safe)
+        node = self.node
+        interval = getattr(node.config, self.interval_attr)
+        if node.config.batch_timers:
+            sweep_wheel(node.sim, node.config.sweep_granularity).schedule(
+                self._sweep_key, interval, self.tick_safe)
+        else:
+            self._timer = node.sim.schedule(interval, self.tick_safe)
 
     def tick(self) -> None:  # pragma: no cover - overridden
         raise NotImplementedError

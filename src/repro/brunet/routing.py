@@ -8,6 +8,7 @@ the fluid-flow layer maps these paths onto bandwidth resources.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.brunet.address import BrunetAddress, directed_distance, ring_distance
@@ -68,23 +69,53 @@ def _next_hop_scan(table: ConnectionTable, my_addr: BrunetAddress,
                    dest: BrunetAddress,
                    exclude_dest_link: bool = False,
                    approach: Optional[str] = None) -> Optional[Connection]:
-    """Uncached greedy decision (the memoization oracle)."""
+    """Uncached greedy decision (the memoization oracle).
+
+    Runs against the table's sorted ring view: whichever peer minimizes
+    the metric must be the destination's ring successor or predecessor
+    within the view (stepping one further along when the adjacent entry
+    is an excluded direct link to ``dest``), so only one or two bisect
+    candidates are ever examined.  An exact tie — one candidate per side
+    of ``dest``, possible only for the undirected metric — breaks to the
+    lower address; a hop is taken only when it *strictly* decreases the
+    metric, exactly as the pre-array object scan decided.
+    """
     if not exclude_dest_link and approach is None:
         direct = table.get(dest)
         if direct is not None:
             return direct
+    addrs, conns = table.ring_view()
+    n = len(addrs)
+    if n == 0:
+        return None
+    dest_i = int(dest)
+    skip_dest = exclude_dest_link or approach is not None
+    pos = bisect_left(addrs, dest_i)
+    if approach == "left":
+        # metric is ccw distance from dest: candidate is the predecessor
+        # (bisect_left guarantees addrs[pos-1] != dest, wrap aside)
+        cand = ((pos - 1) % n,)
+    else:
+        i = pos % n
+        if skip_dest and addrs[i] == dest_i:
+            i = (i + 1) % n
+        if approach == "right":
+            # metric is cw distance from dest: candidate is the successor
+            cand = (i,)
+        else:
+            j = (pos - 1) % n
+            cand = (i,) if i == j else (i, j)
     my_d = _metric(my_addr, dest, approach)
     best: Optional[Connection] = None
     best_d = my_d
-    for conn in table.structured():
-        if conn.peer_addr == dest and (exclude_dest_link or approach):
+    for k in cand:
+        a = addrs[k]
+        if skip_dest and a == dest_i:
             continue
-        d = _metric(conn.peer_addr, dest, approach)
-        # equidistant candidates (one per side of dest) tie-break by
-        # address so the decision never depends on table insertion order
+        d = _metric(a, dest, approach)
         if d < best_d or (d == best_d and best is not None
-                          and conn.peer_addr < best.peer_addr):
-            best, best_d = conn, d
+                          and a < int(best.peer_addr)):
+            best, best_d = conns[k], d
     return best
 
 

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -60,8 +60,17 @@ class OverlaySurvey:
 
 
 def survey(deployment: "Deployment", sample_sources: int = 12,
-           include_routes: bool = True) -> OverlaySurvey:
-    """Measure the live overlay (structural census + sampled routes)."""
+           include_routes: bool = True,
+           sample_dests: Optional[int] = None) -> OverlaySurvey:
+    """Measure the live overlay (structural census + sampled routes).
+
+    The node list comes off the deployment's incrementally-maintained
+    :class:`~repro.brunet.ring.RingIndex` (no per-call sort).  By default
+    every sampled source is routed to *every* destination — exact, but
+    O(sources·n); pass ``sample_dests`` to stride-sample destinations
+    too, keeping a 10k-node census O(sources·dests) and deterministic
+    (same stride pattern every call, no RNG).
+    """
     nodes = deployment.ring_nodes()
     out = OverlaySurvey(n_nodes=len(nodes),
                         ring_consistent=deployment.ring_consistent())
@@ -77,8 +86,11 @@ def survey(deployment: "Deployment", sample_sources: int = 12,
         out.degree_max = int(max(degrees))
     if include_routes and len(nodes) > 1:
         sources = nodes[:: max(1, len(nodes) // sample_sources)]
+        dests = nodes
+        if sample_dests is not None:
+            dests = nodes[:: max(1, len(nodes) // sample_dests)]
         for src in sources:
-            for dst in nodes:
+            for dst in dests:
                 if src is dst:
                     continue
                 hops = overlay_hop_count(src, dst.addr, deployment.resolve)

@@ -2,22 +2,34 @@
 
 Provides the queries routing and the overlords need: nearest structured
 neighbour to an address, left/right ring neighbours, connections by type.
-Node counts are small (a node holds ~2 near + k far + a few shortcuts), so
-linear scans are simpler and faster than maintaining a sorted structure.
+
+Hot queries run against an **array-backed ring view**: a sorted array of
+peer addresses (plain ints) with a parallel array of connections, rebuilt
+lazily after a mutation and answered with bisect instead of object scans.
+At the paper's degrees (~2 near + k far + a few shortcuts) either wins;
+at 10k-node rings the bisect forms keep `closest_to`/neighbour lookups
+O(log k) and — more importantly — allocation-free.
 
 The table carries a monotone ``version`` counter bumped on every mutation
 that can change a routing decision (add/remove/label change).  Derived
-read-mostly state — the structured-connection snapshot and the memoized
-next-hop cache in :mod:`repro.brunet.routing` — is invalidated wholesale on
-a bump, so routing's hot path re-scans the table only after it actually
-changed.
+read-mostly state — the structured-connection snapshot, the sorted ring
+view, the per-type buckets and the memoized next-hop cache in
+:mod:`repro.brunet.routing` — is invalidated wholesale on a bump, so
+routing's hot path re-derives state only after the table actually changed.
+
+Every decision here is **byte-identical** to the pre-array object scans
+(PR-5 lowest-address tie-breaks included); the equivalence is pinned by
+the brute-force oracle property tests in
+``tests/brunet/test_ring_array_equivalence.py``.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Callable, Iterable, Optional
 
-from repro.brunet.address import BrunetAddress, directed_distance, ring_distance
+from repro.brunet.address import (BrunetAddress, nearest_index,
+                                  predecessor_index, successor_index)
 from repro.brunet.connection import Connection, ConnectionType
 
 
@@ -32,6 +44,10 @@ class ConnectionTable:
         #: bumped on any mutation that can change a routing decision
         self.version = 0
         self._structured_cache: Optional[tuple[Connection, ...]] = None
+        #: sorted (addrs, conns) parallel arrays over structured peers
+        self._ring_cache: Optional[
+            tuple[list[int], list[Connection]]] = None
+        self._type_cache: dict[ConnectionType, tuple[Connection, ...]] = {}
         #: (my_addr, dest, exclude_dest_link, approach) -> Connection|None,
         #: owned here, filled by repro.brunet.routing.next_hop
         self.next_hop_cache: dict[tuple, Optional[Connection]] = {}
@@ -40,6 +56,9 @@ class ConnectionTable:
         """Invalidate routing caches after a table mutation."""
         self.version += 1
         self._structured_cache = None
+        self._ring_cache = None
+        if self._type_cache:
+            self._type_cache.clear()
         if self.next_hop_cache:
             self.next_hop_cache.clear()
 
@@ -96,9 +115,14 @@ class ConnectionTable:
         """Snapshot list of every live connection."""
         return list(self._conns.values())
 
-    def by_type(self, conn_type: ConnectionType) -> list[Connection]:
-        """Connections carrying the given type label."""
-        return [c for c in self._conns.values() if conn_type in c.types]
+    def by_type(self, conn_type: ConnectionType) -> tuple[Connection, ...]:
+        """Connections carrying the given type label (snapshot tuple in
+        insertion order, rebuilt only after a table mutation)."""
+        cached = self._type_cache.get(conn_type)
+        if cached is None:
+            cached = self._type_cache[conn_type] = tuple(
+                c for c in self._conns.values() if conn_type in c.types)
+        return cached
 
     def stale(self, now: float, timeout: float) -> list[Connection]:
         """Connections not heard from within ``timeout`` seconds — the
@@ -107,12 +131,25 @@ class ConnectionTable:
                 if now - c.last_heard > timeout]
 
     def structured(self) -> Iterable[Connection]:
-        """Connections that participate in greedy routing (snapshot tuple,
-        rebuilt only after a table mutation)."""
+        """Connections that participate in greedy routing (snapshot tuple
+        in insertion order, rebuilt only after a table mutation)."""
         cached = self._structured_cache
         if cached is None:
             cached = self._structured_cache = tuple(
                 c for c in self._conns.values() if c.structured)
+        return cached
+
+    def ring_view(self) -> tuple[list[int], list[Connection]]:
+        """Sorted parallel arrays over structured peers: ``(addrs, conns)``
+        with ``addrs`` ascending ints and ``conns[i].peer_addr == addrs[i]``.
+        Rebuilt lazily after a mutation; the bisect queries below (and
+        :func:`repro.brunet.routing._next_hop_scan`) run against it."""
+        cached = self._ring_cache
+        if cached is None:
+            conns = sorted(self.structured(),
+                           key=lambda c: int(c.peer_addr))
+            cached = self._ring_cache = (
+                [int(c.peer_addr) for c in conns], conns)
         return cached
 
     def closest_to(self, dest: BrunetAddress) -> Optional[Connection]:
@@ -123,14 +160,10 @@ class ConnectionTable:
         side); the tie goes to the lower address so the answer never
         depends on table insertion order.
         """
-        best: Optional[Connection] = None
-        best_d: Optional[int] = None
-        for conn in self.structured():
-            d = ring_distance(conn.peer_addr, dest)
-            if (best_d is None or d < best_d
-                    or (d == best_d and conn.peer_addr < best.peer_addr)):
-                best, best_d = conn, d
-        return best
+        addrs, conns = self.ring_view()
+        if not addrs:
+            return None
+        return conns[nearest_index(addrs, int(dest))]
 
     def right_neighbor(self) -> Optional[Connection]:
         """Nearest structured peer clockwise of me."""
@@ -141,36 +174,49 @@ class ConnectionTable:
         return self._directional_neighbor(clockwise=False)
 
     def _directional_neighbor(self, clockwise: bool) -> Optional[Connection]:
-        best: Optional[Connection] = None
-        best_d: Optional[int] = None
-        for conn in self.structured():
-            d = (directed_distance(self.my_addr, conn.peer_addr) if clockwise
-                 else directed_distance(conn.peer_addr, self.my_addr))
-            if d == 0:
-                continue
-            # distinct peers have distinct directed distances, so the
-            # address tie-break only matters for duplicate-address tables;
-            # it keeps the choice independent of insertion order regardless
-            if (best_d is None or d < best_d
-                    or (d == best_d and conn.peer_addr < best.peer_addr)):
-                best, best_d = conn, d
-        return best
+        addrs, conns = self.ring_view()
+        n = len(addrs)
+        if n == 0:
+            return None
+        me = int(self.my_addr)
+        if clockwise:
+            i = successor_index(addrs, me)
+            if addrs[i] == me:  # a link to my own address never counts
+                i = (i + 1) % n
+        else:
+            i = predecessor_index(addrs, me)
+            if addrs[i] == me:  # only in a one-element self-link table
+                i = (i - 1) % n
+        if addrs[i] == me:
+            return None
+        return conns[i]
 
     def neighbors_of(self, addr: BrunetAddress,
                      per_side: int = 1) -> list[Connection]:
         """Up to ``per_side`` nearest structured peers on each side of
-        ``addr`` (used when answering a joining node's CTM-to-self)."""
-        left: list[tuple[int, Connection]] = []
-        right: list[tuple[int, Connection]] = []
-        for conn in self.structured():
-            if conn.peer_addr == addr:
-                continue
-            d_cw = directed_distance(addr, conn.peer_addr)
-            right.append((d_cw, conn))
-            left.append(((-d_cw) % (1 << 160), conn))
-        right.sort(key=lambda t: (t[0], int(t[1].peer_addr)))
-        left.sort(key=lambda t: (t[0], int(t[1].peer_addr)))
+        ``addr`` (used when answering a joining node's CTM-to-self).
+        Clockwise picks first, then counter-clockwise, deduplicated —
+        peers are unique by address, so the two walks are each simply a
+        contiguous run of the sorted ring view."""
+        addrs, conns = self.ring_view()
+        n = len(addrs)
+        if n == 0:
+            return []
+        target = int(addr)
+        start = bisect_left(addrs, target)
         picked: dict[BrunetAddress, Connection] = {}
-        for _, conn in right[:per_side] + left[:per_side]:
-            picked[conn.peer_addr] = conn
+        i, taken, steps = start % n, 0, 0
+        while taken < per_side and steps < n:
+            if addrs[i] != target:
+                picked[conns[i].peer_addr] = conns[i]
+                taken += 1
+            i = (i + 1) % n
+            steps += 1
+        i, taken, steps = (start - 1) % n, 0, 0
+        while taken < per_side and steps < n:
+            if addrs[i] != target:
+                picked.setdefault(conns[i].peer_addr, conns[i])
+                taken += 1
+            i = (i - 1) % n
+            steps += 1
         return list(picked.values())

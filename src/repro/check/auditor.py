@@ -50,6 +50,11 @@ class AuditConfig:
     max_cache_entries: int = 256
     #: non-root spans open longer than this are leaks
     span_grace: float = 900.0
+    #: per-sweep work budget for big rings (None = unbounded): bounds the
+    #: ring/symmetry sweeps to a deterministic stride sample of this many
+    #: nodes, the partition BFS to 50× as many edges, the routing sample
+    #: to this many pairs and the cache audit to this many entries total
+    budget: Optional[int] = None
     #: which invariant classes to run
     checks: tuple = ALL_CHECKS
 
@@ -110,16 +115,18 @@ class Auditor:
         nodes = self.nodes()
         findings: list[Violation] = []
         if "ring" in cfg.checks:
-            findings += invariants.check_ring(nodes, now)
+            findings += invariants.check_ring(nodes, now, budget=cfg.budget)
         if "symmetry" in cfg.checks:
             findings += invariants.check_symmetry(
-                nodes, now, handshake_grace=cfg.handshake_grace)
+                nodes, now, handshake_grace=cfg.handshake_grace,
+                budget=cfg.budget)
         if "routing" in cfg.checks:
             findings += invariants.check_routing(
-                nodes, now, max_pairs=cfg.max_pairs)
+                nodes, now, max_pairs=cfg.max_pairs, budget=cfg.budget)
         if "cache" in cfg.checks:
             findings += invariants.check_cache(
-                nodes, now, max_entries=cfg.max_cache_entries)
+                nodes, now, max_entries=cfg.max_cache_entries,
+                budget=cfg.budget)
         if "leak" in cfg.checks:
             findings += invariants.check_leaks(
                 nodes, now, internet=self.internet,

@@ -76,6 +76,18 @@ def _live(nodes: Iterable["BrunetNode"]) -> list["BrunetNode"]:
     return sorted((n for n in nodes if n.active), key=lambda n: int(n.addr))
 
 
+def _stride_sample(live: list, budget: Optional[int]) -> list:
+    """Deterministic bounded subsample: every ceil(n/budget)-th element
+    of the address-sorted list (the whole list when ``budget`` is None or
+    already covers it).  No RNG — the sampled set is identical across
+    same-seed runs and across sweeps, so persistence gating still sees a
+    stable key set."""
+    if budget is None or budget <= 0 or len(live) <= budget:
+        return live
+    stride = -(-len(live) // budget)
+    return live[::stride]
+
+
 # ---------------------------------------------------------------------------
 # 1. ring consistency
 # ---------------------------------------------------------------------------
@@ -105,7 +117,8 @@ def _ring_repairing(node: "BrunetNode", live: list["BrunetNode"],
     return False
 
 
-def check_ring(nodes: Iterable["BrunetNode"], now: float) -> list[Violation]:
+def check_ring(nodes: Iterable["BrunetNode"], now: float,
+               budget: Optional[int] = None) -> list[Violation]:
     """The structured-near connections must form the true sorted-address
     ring: successor/predecessor links present, NEAR labels only on genuine
     nearest neighbours, no links to dead nodes, no partitions.
@@ -114,6 +127,12 @@ def check_ring(nodes: Iterable["BrunetNode"], now: float) -> list[Violation]:
     handshake with the true neighbour is in flight on either side — the
     same exemption :func:`check_symmetry` applies — so slow NAT traversal
     reads as repair in progress, not as a violation.
+
+    ``budget`` bounds the sweep for big rings: only a deterministic
+    stride sample of ``budget`` nodes is examined per call (successor
+    computation still uses the full live list, so sampled nodes are
+    graded against their *true* neighbours), and the partition BFS
+    abstains once it has traversed ``50 * budget`` edges.
     """
     live = _live(nodes)
     out: list[Violation] = []
@@ -122,7 +141,8 @@ def check_ring(nodes: Iterable["BrunetNode"], now: float) -> list[Violation]:
     count = len(live)
     addr_index = {n.addr: i for i, n in enumerate(live)}
     repairing = [_ring_repairing(n, live, i) for i, n in enumerate(live)]
-    for i, node in enumerate(live):
+    examine = _stride_sample(list(enumerate(live)), budget)
+    for i, node in examine:
         for side, other in (("right", live[(i + 1) % count]),
                             ("left", live[(i - 1) % count])):
             if other is node:
@@ -164,19 +184,28 @@ def check_ring(nodes: Iterable["BrunetNode"], now: float) -> list[Violation]:
                     f"ring.stale-peer:{node.name}:{conn.peer_addr.hex()}",
                     f"{node.name} holds a structured link to dead peer "
                     f"{conn.peer_addr!r}", gated=True))
-    out.extend(_check_partition(live, now))
+    max_edges = None if budget is None else 50 * budget
+    out.extend(_check_partition(live, now, max_edges=max_edges))
     return out
 
 
-def _check_partition(live: list["BrunetNode"], now: float) -> list[Violation]:
-    """BFS over structured links: the overlay must be one component."""
+def _check_partition(live: list["BrunetNode"], now: float,
+                     max_edges: Optional[int] = None) -> list[Violation]:
+    """BFS over structured links: the overlay must be one component.
+    With ``max_edges`` set the sweep abstains (reports nothing) once the
+    traversal exceeds the edge budget — bounded work beats a partial
+    answer misread as a partition."""
     addr_index = {n.addr: n for n in live}
     seen: set = set()
     stack = [live[0]]
     seen.add(live[0].addr)
+    edges = 0
     while stack:
         node = stack.pop()
         for conn in node.table.structured():
+            edges += 1
+            if max_edges is not None and edges > max_edges:
+                return []
             peer = addr_index.get(conn.peer_addr)
             if peer is not None and peer.addr not in seen:
                 seen.add(peer.addr)
@@ -196,17 +225,20 @@ def _check_partition(live: list["BrunetNode"], now: float) -> list[Violation]:
 # ---------------------------------------------------------------------------
 
 def check_symmetry(nodes: Iterable["BrunetNode"], now: float,
-                   handshake_grace: float = 30.0) -> list[Violation]:
+                   handshake_grace: float = 30.0,
+                   budget: Optional[int] = None) -> list[Violation]:
     """A's table lists B with compatible labels iff B's table lists A.
 
     Connections younger than ``handshake_grace`` and pairs with an
     in-flight linking attempt on either side are skipped — linking is a
     two-message handshake, so one-sided state is legal while it runs.
+    ``budget`` bounds the sweep to a deterministic stride sample of
+    nodes (reverse lookups still hit the full live map).
     """
     live = _live(nodes)
     by_addr = {n.addr: n for n in live}
     out: list[Violation] = []
-    for node in live:
+    for node in _stride_sample(live, budget):
         for conn in node.table.all():
             if not conn.types:
                 out.append(Violation(
@@ -266,7 +298,8 @@ def sample_pairs(live: list["BrunetNode"],
 
 
 def check_routing(nodes: Iterable["BrunetNode"], now: float,
-                  max_pairs: int = 64) -> list[Violation]:
+                  max_pairs: int = 64,
+                  budget: Optional[int] = None) -> list[Violation]:
     """Greedy ``next_hop`` chains for sampled (src, dest) pairs terminate
     at the address owner, strictly decreasing the ring metric each hop.
 
@@ -279,6 +312,8 @@ def check_routing(nodes: Iterable["BrunetNode"], now: float,
     by_addr = {n.addr: n for n in live}
     index = {n.addr: i for i, n in enumerate(live)}
     out: list[Violation] = []
+    if budget is not None:
+        max_pairs = min(max_pairs, budget)
     for src, owner in sample_pairs(live, max_pairs):
         dest = owner.addr
         pair_key = f"{src.name}->{owner.name}"
@@ -327,16 +362,25 @@ def check_routing(nodes: Iterable["BrunetNode"], now: float,
 # ---------------------------------------------------------------------------
 
 def check_cache(nodes: Iterable["BrunetNode"], now: float,
-                max_entries: int = 256) -> list[Violation]:
+                max_entries: int = 256,
+                budget: Optional[int] = None) -> list[Violation]:
     """Every memoized ``next_hop_cache`` entry must equal a fresh
     ``_next_hop_scan`` — the table clears the cache on every version bump,
-    so a divergent entry means an invalidation path was missed."""
+    so a divergent entry means an invalidation path was missed.
+    ``max_entries`` caps re-verified entries per node; ``budget`` caps
+    them across the whole sweep."""
     out: list[Violation] = []
+    total = 0
     for node in _live(nodes):
+        if budget is not None and total >= budget:
+            break
         table = node.table
         for i, (key, cached) in enumerate(table.next_hop_cache.items()):
             if i >= max_entries:
                 break
+            if budget is not None and total >= budget:
+                break
+            total += 1
             fresh = _next_hop_scan(table, key[0], key[1], key[2], key[3])
             if fresh is not cached:
                 out.append(Violation(

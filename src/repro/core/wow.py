@@ -12,6 +12,7 @@ from typing import TYPE_CHECKING, Optional
 from repro.brunet.address import BrunetAddress, random_address
 from repro.brunet.config import BrunetConfig
 from repro.brunet.node import BrunetNode
+from repro.brunet.ring import RingIndex
 from repro.brunet.uri import Uri
 from repro.core.config import CalibrationConfig, SiteSpec
 from repro.ipop.bandwidth import BandwidthBroker
@@ -48,6 +49,9 @@ class Deployment:
                                      self.calib.ufl_nwu_wan_capacity)
         self.sites: dict[str, Site] = {}
         self.nodes_by_addr: dict[BrunetAddress, BrunetNode] = {}
+        #: global sorted ring index mirroring ``nodes_by_addr`` — census
+        #: and invariant sweeps bisect it instead of re-sorting the dict
+        self.ring_index = RingIndex()
         self.bootstrap_uris: list[Uri] = []
         self.router_nodes: list[BrunetNode] = []
         self.vms: dict[str, "WowVm"] = {}
@@ -87,6 +91,7 @@ class Deployment:
     # ------------------------------------------------------------------
     def register_node(self, node: BrunetNode) -> None:
         self.nodes_by_addr[node.addr] = node
+        self.ring_index.add(node.addr, node)
         if self._dht_enabled and not hasattr(node, "dht"):
             from repro.brunet.dht import DhtNode
             DhtNode(node, replication=self._dht_replication)
@@ -94,6 +99,7 @@ class Deployment:
     def unregister_node(self, node: BrunetNode) -> None:
         if self.nodes_by_addr.get(node.addr) is node:
             self.nodes_by_addr.pop(node.addr)
+            self.ring_index.discard(node.addr, node)
 
     def resolve(self, addr: BrunetAddress) -> Optional[BrunetNode]:
         """Registry lookup used by routing previews and the flow broker."""
@@ -197,12 +203,13 @@ class Deployment:
     # diagnostics
     # ------------------------------------------------------------------
     def ring_nodes(self) -> list[BrunetNode]:
-        """All live nodes sorted by ring address."""
-        return sorted(self.nodes_by_addr.values(), key=lambda n: int(n.addr))
+        """All live nodes sorted by ring address (snapshot copy of the
+        incrementally-maintained :class:`RingIndex` — no per-call sort)."""
+        return list(self.ring_index.items)
 
     def ring_consistent(self) -> bool:
         """Every live node is connected to its true ring successor."""
-        nodes = self.ring_nodes()
+        nodes = self.ring_index.items
         if len(nodes) < 2:
             return True
         for i, node in enumerate(nodes):

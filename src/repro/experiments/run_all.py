@@ -24,6 +24,7 @@ from repro.experiments import (
     fig7_pbs_migration,
     fig8_meme_histogram,
     join_latency_cdf,
+    scaling_10k,
     table2_bandwidth,
     table3_fastdnaml,
 )
@@ -39,6 +40,8 @@ EXPERIMENTS = {
     "table3": "fastDNAml-PVM times and speedups",
     "joincdf": "join latency CDF (300-trial claim)",
     "churn": "self-repair time after killing 25% of the overlay (§V-E)",
+    "scaling10k": "hop count vs c·log²n up to 10k nodes on the sharded "
+                  "kernel (+churn slice)",
 }
 
 
@@ -133,6 +136,15 @@ def _run_one(name: str, full: bool, seed: int, scale: float,
                       f"{metrics_out}/ (flamegraph-ready)")
         if audit:
             violations = _audit_verdict(name, result.violations or [])
+    elif name == "scaling10k":
+        points = scaling_10k.run(
+            sizes=(1000, 2000, 5000, 10000) if full else (1000, 2000),
+            seed=seed, settle=45.0 if full else 30.0,
+            sample_pairs=600 if full else 300,
+            churn_fraction=0.01 if full else 0.0)
+        scaling_10k.report(points)
+        flat = [v for p in points for v in p.violations]
+        violations = _audit_verdict(name, flat)
     else:
         raise SystemExit(f"unknown experiment {name!r}")
     print(f"[{name} finished in {time.time() - t0:.0f}s wall]")

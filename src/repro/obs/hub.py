@@ -44,6 +44,12 @@ if TYPE_CHECKING:  # pragma: no cover
 #: default per-kind span sampling used by :meth:`Observability.enable_spans`
 DEFAULT_SAMPLE = {"ip": 1, "ctm": 1}
 
+#: node populations at or above this default to aggregated metrics
+#: (``node_series=False``) in :meth:`Observability.scale_to` — per-node
+#: label series cost O(n) memory and export lines, which at 10k nodes
+#: swamps the bundle without adding signal (see DESIGN.md §16)
+NODE_SERIES_MAX = 1000
+
 
 class Observability:
     """Metrics + spans + flight recorder for one simulator."""
@@ -105,6 +111,27 @@ class Observability:
                                        stride=stride)
         self.sim.profiler = self.profiler
         return self.profiler
+
+    def scale_to(self, n_nodes: int, nodes_fn: Optional[Callable] = None,
+                 node_series: Optional[bool] = None,
+                 sectors: int = 16) -> MetricsRegistry:
+        """Right-size the metrics pipeline for an ``n_nodes`` overlay.
+
+        Call once at experiment setup, *before* nodes are built.  With
+        ``node_series=None`` (the default) per-node label series stay on
+        below :data:`NODE_SERIES_MAX` nodes and collapse into aggregate
+        series at or above it; pass ``True``/``False`` to override the
+        threshold explicitly.  When ``nodes_fn`` is given and per-node
+        series are off, a :class:`~repro.obs.metrics.SectorRollup` over
+        that population is registered instead, so large runs keep an
+        O(sectors) spatial view of the ring in the export bundle.
+        """
+        if node_series is None:
+            node_series = n_nodes < NODE_SERIES_MAX
+        self.metrics.node_series = node_series
+        if nodes_fn is not None and not node_series and self.rollup is None:
+            self.enable_rollup(nodes_fn, sectors=sectors)
+        return self.metrics
 
     def enable_rollup(self, nodes_fn: Callable, sectors: int = 16,
                       space_bits: int = 160) -> SectorRollup:

@@ -13,12 +13,14 @@ Time is a float in **seconds**; data sizes are **bytes**; bandwidth is
 from repro.sim.engine import Event, Simulator, SimulationError
 from repro.sim.process import Process, Signal, Timeout, WaitSignal, AllOf
 from repro.sim.rng import RngRegistry
+from repro.sim.shards import ShardedKernel
 from repro.sim.trace import Tracer, TimeSeries
 
 __all__ = [
     "Event",
     "Simulator",
     "SimulationError",
+    "ShardedKernel",
     "Process",
     "Signal",
     "Timeout",

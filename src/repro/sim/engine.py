@@ -150,6 +150,8 @@ class Simulator:
         self._wheel_floor = 0               # buckets <= floor are heap-resident
         self._live = 0                      # non-cancelled events queued
         self._heap_dead = 0                 # tombstones inside self._queue
+        # -- shared per-simulator services (see :meth:`shared`) ---------
+        self._shared: dict[Any, Any] = {}
 
     # ------------------------------------------------------------------
     # scheduling
@@ -320,6 +322,21 @@ class Simulator:
         """Record a trace entry stamped with the current time."""
         self.tracer.record(self.now, category, data)
 
+    def shared(self, key: Any, factory: Callable[["Simulator"], Any]) -> Any:
+        """Per-simulator service registry: return the object registered
+        under ``key``, creating it via ``factory(self)`` on first use.
+
+        Subsystems that want exactly one instance *per kernel* (e.g. the
+        batched :class:`SweepWheel` shared by every node on a shard) go
+        through here instead of module globals, so a sharded simulation
+        gets one instance per shard and two simulators in one process
+        never share state."""
+        try:
+            return self._shared[key]
+        except KeyError:
+            obj = self._shared[key] = factory(self)
+            return obj
+
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued.  O(1)."""
         return self._live
@@ -334,3 +351,91 @@ class Simulator:
             for ev in entries:
                 if not ev.cancelled:
                     yield ev
+
+
+class SweepWheel:
+    """Batched periodic work: many registrants share one kernel timer.
+
+    n nodes each rescheduling a keep-alive every ``ping_interval/2``
+    put 2n/ping_interval events per simulated second through the kernel
+    — at 10k nodes the heap traffic dominates the overlay itself.  The
+    sweep wheel quantizes registrations into buckets of ``granularity``
+    seconds and fires **one** kernel event per occupied bucket, walking
+    that bucket's due entries in key order.  Registrants key themselves
+    by ring address, so a sweep walks due connections in address order.
+
+    Cancellation is tombstone-free: every key carries a generation
+    counter; :meth:`cancel` (and re-registration) bump it, and an entry
+    whose captured generation is stale is simply skipped at fire time —
+    no bucket-list scan, no kernel-event cancellation.
+
+    Quantization rounds *up* to the bucket edge, so work is never run
+    early — a registrant asking for ``delay`` seconds runs within
+    ``[delay, delay + granularity)``.  Batching therefore perturbs
+    timing by design; it is opt-in via ``BrunetConfig.batch_timers``
+    (off by default, keeping default trajectories byte-identical) and
+    meant for the 10k-node scaling runs where per-node timer precision
+    is irrelevant.
+    """
+
+    def __init__(self, sim: Simulator, granularity: float = 1.0):
+        if granularity <= 0:
+            raise SimulationError("granularity must be positive")
+        self.sim = sim
+        self.granularity = granularity
+        #: bucket index -> [(key, generation, fn), ...] (unsorted until fire)
+        self._buckets: dict[int, list[tuple]] = {}
+        #: current generation per key (bumped on schedule/cancel)
+        self._gen: dict[Any, int] = {}
+        #: fired sweep buckets (telemetry)
+        self.sweeps = 0
+        #: entries skipped as stale (telemetry)
+        self.skipped = 0
+
+    def schedule(self, key: Any, delay: float, fn: Callable[[], Any]) -> None:
+        """Run ``fn()`` at the first bucket edge at or after now+``delay``.
+        Any earlier registration under the same key is implicitly
+        cancelled (one live entry per key)."""
+        if delay < 0 or math.isnan(delay):
+            raise SimulationError(f"negative/NaN delay: {delay!r}")
+        gen = self._gen.get(key, 0) + 1
+        self._gen[key] = gen
+        t = self.sim.now + delay
+        g = self.granularity
+        bucket = -int(-t // g)  # ceil: never early
+        entries = self._buckets.get(bucket)
+        if entries is None:
+            self._buckets[bucket] = [(key, gen, fn)]
+            self.sim.schedule_at(bucket * g, self._fire, bucket)
+        else:
+            entries.append((key, gen, fn))
+
+    def cancel(self, key: Any) -> None:
+        """Invalidate the key's live entry (O(1); idempotent).  The entry
+        stays in its bucket and is discarded, not run, at fire time."""
+        if key in self._gen:
+            self._gen[key] += 1
+
+    def pending(self, key: Any) -> bool:
+        """True when the key has a live (not cancelled/fired) entry."""
+        return self._gen.get(key, 0) > 0 and any(
+            e[0] == key and e[1] == self._gen[key]
+            for entries in self._buckets.values() for e in entries)
+
+    def _fire(self, bucket: int) -> None:
+        entries = self._buckets.pop(bucket, [])
+        entries.sort(key=lambda e: e[0])  # address order within the sweep
+        self.sweeps += 1
+        gen = self._gen
+        for key, g, fn in entries:
+            if gen.get(key) != g:
+                self.skipped += 1
+                continue
+            fn()
+
+
+def sweep_wheel(sim: Simulator, granularity: float = 1.0) -> SweepWheel:
+    """The simulator's shared :class:`SweepWheel` (one per kernel/shard;
+    the first caller's ``granularity`` wins)."""
+    return sim.shared("sweep_wheel",
+                      lambda s: SweepWheel(s, granularity=granularity))

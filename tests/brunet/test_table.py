@@ -56,9 +56,9 @@ def test_remove_fires_callback(table):
 def test_by_type_uses_label_sets(table):
     c = table.add(conn(2000, ConnectionType.LEAF))
     c.add_type(ConnectionType.SHORTCUT)
-    assert table.by_type(ConnectionType.SHORTCUT) == [c]
-    assert table.by_type(ConnectionType.LEAF) == [c]
-    assert table.by_type(ConnectionType.STRUCTURED_FAR) == []
+    assert list(table.by_type(ConnectionType.SHORTCUT)) == [c]
+    assert list(table.by_type(ConnectionType.LEAF)) == [c]
+    assert list(table.by_type(ConnectionType.STRUCTURED_FAR)) == []
 
 
 def test_leaf_only_connection_not_structured(table):

@@ -1,0 +1,83 @@
+"""Trajectory fingerprints for the pre/post-refactor golden tests.
+
+A fingerprint is a sha256 over the *complete* tracer record stream of a
+run (every category, every record, exact float reprs), so any change in
+event order, timing, RNG draw sequence, or payload shows up.  The runs
+used here are small (seconds each) but exercise joins, CTM handshakes,
+linking, greedy routing, shortcut formation, crash-detection and repair —
+the full overlay stack.
+
+``capture_churn``/``capture_fig4`` are also import-run as a script by the
+maintenance workflow to (re)print the expected digests::
+
+    PYTHONPATH=src python -m tests.experiments._golden_fp
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def _digest_records(tracer) -> str:
+    h = hashlib.sha256()
+    for cat in sorted(tracer.records):
+        h.update(cat.encode())
+        for t, data in tracer.records[cat]:
+            h.update(repr((t, sorted(data.items()))).encode())
+    return h.hexdigest()
+
+
+def capture_churn(seed: int = 0) -> str:
+    """Small churn_recovery run with tracing forced on (read-only)."""
+    import repro.experiments.churn_recovery as churn
+    from repro.sim.engine import Simulator
+
+    created: list[Simulator] = []
+
+    class _TracingSim(Simulator):
+        def __init__(self, *args, **kwargs):
+            kwargs["trace"] = True
+            super().__init__(*args, **kwargs)
+            created.append(self)
+
+    orig = churn.Simulator
+    churn.Simulator = _TracingSim
+    try:
+        res = churn.run(seed=seed, n_nodes=10, kill_fraction=0.3,
+                        settle=200.0, horizon=260.0, sample_every=20.0)
+    finally:
+        churn.Simulator = orig
+    sim = created[0]
+    h = hashlib.sha256()
+    h.update(_digest_records(sim.tracer).encode())
+    h.update(repr((res.recovery_ring, res.recovery_routes,
+                   res.n_killed, res.series)).encode())
+    return h.hexdigest()
+
+
+def capture_fig4(seed: int = 0) -> str:
+    """One-trial fig4 join profile over a traced testbed."""
+    from repro.experiments import fig4_join_profile
+    from repro.experiments.common import make_testbed
+
+    setup = make_testbed(seed=seed, scale=0.5, trace=True, settle=90.0)
+    profiles = fig4_join_profile.run(seed=seed, trials_per_case=1,
+                                     count=40, setup=setup)
+    h = hashlib.sha256()
+    h.update(_digest_records(setup.sim.tracer).encode())
+    for case in sorted(profiles):
+        p = profiles[case]
+        h.update(repr((case, p.rtt_sum.tobytes(), p.rtt_n.tobytes(),
+                       p.lost.tobytes(), p.shortcut_seqs)).encode())
+    return h.hexdigest()
+
+
+if __name__ == "__main__":  # pragma: no cover - maintenance helper
+    import time
+    t0 = time.time()
+    c = capture_churn()
+    t1 = time.time()
+    f = capture_fig4()
+    t2 = time.time()
+    print(f"CHURN_FP = \"{c}\"  # {t1 - t0:.1f}s")
+    print(f"FIG4_FP = \"{f}\"  # {t2 - t1:.1f}s")

@@ -1,0 +1,26 @@
+"""Pre/post-refactor byte-identity (ISSUE 9 satellite).
+
+The digests below were captured on main *before* the array-backed ring
+index, sweep-wheel timer layer and sharded kernel landed.  They pin the
+complete tracer record stream (plus result payloads) of a small churn
+run and a small fig4 run, so the refactor is machine-checked to be
+decision-identical: same seed, byte-identical trajectory.
+
+Regenerate (only when an *intentional* trajectory change lands)::
+
+    PYTHONPATH=src python -m tests.experiments._golden_fp
+"""
+
+from tests.experiments._golden_fp import capture_churn, capture_fig4
+
+#: captured at 8e638bd (pre ISSUE-9 refactor)
+CHURN_FP = "4a3dbc42990e618dd912f53ab3c5b23ffc91ba7176a80ea8f5aa093f841915ca"
+FIG4_FP = "bffcc6c25d35690195b590010f591e32275a131b4045fd848e734483fea87d32"
+
+
+def test_churn_trajectory_byte_identical_to_main():
+    assert capture_churn(seed=0) == CHURN_FP
+
+
+def test_fig4_trajectory_byte_identical_to_main():
+    assert capture_fig4(seed=0) == FIG4_FP

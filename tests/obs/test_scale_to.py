@@ -1,0 +1,50 @@
+"""Observability.scale_to: node-series threshold and rollup wiring."""
+
+from __future__ import annotations
+
+from repro.obs.hub import NODE_SERIES_MAX
+from repro.sim import Simulator
+
+
+def test_small_populations_keep_node_series():
+    sim = Simulator(seed=0)
+    m = sim.obs.scale_to(NODE_SERIES_MAX - 1)
+    assert m is sim.obs.metrics
+    assert m.node_series is True
+    assert sim.obs.rollup is None
+
+
+def test_large_populations_collapse_node_series():
+    sim = Simulator(seed=0)
+    m = sim.obs.scale_to(NODE_SERIES_MAX)
+    assert m.node_series is False
+    c1 = m.counter("brunet.sent", node="a")
+    c2 = m.counter("brunet.sent", node="b")
+    c1.inc()
+    c2.inc(2)
+    # both label sets collapsed into one aggregate child
+    assert c1 is c2
+    assert c1.value == 3
+
+
+def test_explicit_override_beats_threshold():
+    sim = Simulator(seed=0)
+    assert sim.obs.scale_to(10, node_series=False).node_series is False
+    sim2 = Simulator(seed=0)
+    assert sim2.obs.scale_to(10_000,
+                             node_series=True).node_series is True
+
+
+def test_rollup_registered_only_when_aggregated():
+    small = Simulator(seed=0)
+    small.obs.scale_to(10, nodes_fn=lambda: [])
+    assert small.obs.rollup is None
+
+    big = Simulator(seed=0)
+    big.obs.scale_to(10_000, nodes_fn=lambda: [], sectors=8)
+    assert big.obs.rollup is not None
+    assert big.obs.rollup.sectors == 8
+    # idempotent: a second call must not stack another rollup collector
+    prev = big.obs.rollup
+    big.obs.scale_to(10_000, nodes_fn=lambda: [])
+    assert big.obs.rollup is prev

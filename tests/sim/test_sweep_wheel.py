@@ -1,0 +1,115 @@
+"""SweepWheel: batched periodic timers with generation-tag cancellation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.brunet.config import BrunetConfig
+from repro.check import invariants
+from repro.phys.network import Internet
+from repro.sim.engine import Simulator, SimulationError, SweepWheel, sweep_wheel
+from tests.conftest import build_overlay
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=0)
+
+
+def test_entries_fire_in_key_order_within_a_bucket(sim):
+    wheel = SweepWheel(sim, granularity=1.0)
+    fired = []
+    # register out of key order; all land in the same bucket
+    for key in (30, 10, 20):
+        wheel.schedule((key,), 0.5, lambda k=key: fired.append(k))
+    sim.run(until=2.0)
+    assert fired == [10, 20, 30]
+    assert wheel.sweeps == 1
+
+
+def test_quantization_never_fires_early(sim):
+    wheel = SweepWheel(sim, granularity=5.0)
+    at = []
+    wheel.schedule("a", 7.0, lambda: at.append(sim.now))
+    sim.run(until=30.0)
+    assert at == [10.0]  # ceil(7/5)*5, within [delay, delay+granularity)
+
+
+def test_generation_cancel_is_tombstone_free(sim):
+    wheel = SweepWheel(sim, granularity=1.0)
+    fired = []
+    wheel.schedule("a", 0.5, lambda: fired.append("a"))
+    wheel.schedule("b", 0.5, lambda: fired.append("b"))
+    wheel.cancel("a")
+    assert len(wheel._buckets[1]) == 2  # entry not scanned out of the list
+    sim.run(until=2.0)
+    assert fired == ["b"]
+    assert wheel.skipped == 1
+
+
+def test_reschedule_supersedes_previous_registration(sim):
+    wheel = SweepWheel(sim, granularity=1.0)
+    fired = []
+    wheel.schedule("a", 0.5, lambda: fired.append("first"))
+    wheel.schedule("a", 2.5, lambda: fired.append("second"))
+    sim.run(until=5.0)
+    assert fired == ["second"]
+
+
+def test_cancel_then_reschedule_does_not_resurrect_stale_entry(sim):
+    wheel = SweepWheel(sim, granularity=1.0)
+    fired = []
+    wheel.schedule("a", 0.5, lambda: fired.append("stale"))
+    wheel.cancel("a")
+    wheel.schedule("a", 0.5, lambda: fired.append("live"))
+    sim.run(until=2.0)
+    assert fired == ["live"]
+
+
+def test_periodic_reregistration(sim):
+    wheel = SweepWheel(sim, granularity=1.0)
+    ticks = []
+
+    def tick():
+        ticks.append(sim.now)
+        if len(ticks) < 4:
+            wheel.schedule("n", 2.0, tick)
+
+    wheel.schedule("n", 2.0, tick)
+    sim.run(until=20.0)
+    assert ticks == [2.0, 4.0, 6.0, 8.0]
+
+
+def test_rejects_negative_delay_and_bad_granularity(sim):
+    with pytest.raises(SimulationError):
+        SweepWheel(sim, granularity=0.0)
+    wheel = SweepWheel(sim, granularity=1.0)
+    with pytest.raises(SimulationError):
+        wheel.schedule("a", -1.0, lambda: None)
+
+
+def test_shared_wheel_is_per_simulator(sim):
+    other = Simulator(seed=1)
+    assert sweep_wheel(sim) is sweep_wheel(sim)
+    assert sweep_wheel(sim) is not sweep_wheel(other)
+
+
+def test_batched_overlay_forms_consistent_ring():
+    """batch_timers routes keep-alive + overlord ticks through the shared
+    wheel; the overlay must still form a consistent ring and audit clean
+    (timing is quantized, decisions are not)."""
+    sim = Simulator(seed=3)
+    internet = Internet(sim)
+    config = BrunetConfig(batch_timers=True)
+    nodes, _ = build_overlay(sim, internet, 10, config=config)
+    sim.run(until=sim.now + 120.0)
+    wheel = sweep_wheel(sim)
+    assert wheel.sweeps > 0
+    live = [n for n in nodes if n.active]
+    assert not invariants.check_ring(live, sim.now)
+    assert not invariants.check_routing(live, sim.now)
+    # a stopped node's wheel entries go stale instead of firing
+    nodes[5].stop()
+    before = wheel.skipped
+    sim.run(until=sim.now + 60.0)
+    assert wheel.skipped > before
