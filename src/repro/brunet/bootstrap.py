@@ -1,0 +1,147 @@
+"""Decentralized bootstrap: the cached-peer store.
+
+The paper's testbed (like every early IPOP deployment) bootstraps off a
+short list of well-known seed nodes — which makes seed death fatal to any
+node that restarts afterwards.  "Addressing the P2P Bootstrap Problem for
+Small Overlay Networks" (PAPERS.md) fixes this with persistent peer
+caching: every node keeps a small on-disk store of the last peers it was
+actually connected to, and on restart tries those cached endpoints
+*before* (and alongside) the configured seeds.  As long as any cached
+peer survives, a restarted node rejoins the overlay even when every seed
+is dead; once rejoined, the normal self-announce repair path (PR 2) pulls
+it back to its true ring position.
+
+:class:`PeerCache` is deliberately tiny and dependency-free: a JSON file
+of ``(uri, last_seen wall-clock)`` pairs, most recently confirmed first,
+written atomically (tmp + rename) so a crash mid-write never corrupts the
+previous generation.  The daemon snapshots its live connection table into
+the cache on a timer and on clean shutdown.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Iterable, Optional
+
+from repro.brunet.uri import Uri
+
+#: current on-disk format version
+CACHE_VERSION = 1
+
+
+class PeerCache:
+    """Persistent store of last-known-live peer URIs for bootstrap.
+
+    Parameters
+    ----------
+    path:
+        JSON file backing the cache (created on first :meth:`save`).
+    capacity:
+        Retained entry count; least recently confirmed entries are
+        evicted first.
+    max_age:
+        Entries older than this many wall-clock seconds are dropped at
+        load time (0 disables aging).  A week-old endpoint behind a NAT
+        is almost certainly stale; retrying it only delays bootstrap.
+    """
+
+    def __init__(self, path: str, capacity: int = 64,
+                 max_age: float = 7 * 24 * 3600.0):
+        self.path = path
+        self.capacity = capacity
+        self.max_age = max_age
+        #: uri-string -> last_seen wall-clock timestamp
+        self._entries: dict[str, float] = {}
+        self.loaded_from_disk = False
+
+    # -- mutation ----------------------------------------------------------
+    def record(self, uris: Iterable[Uri],
+               now: Optional[float] = None) -> None:
+        """Confirm ``uris`` as live right now (moves them to the front)."""
+        stamp = time.time() if now is None else now
+        for uri in uris:
+            self._entries[str(uri)] = stamp
+        if len(self._entries) > self.capacity:
+            keep = sorted(self._entries.items(), key=lambda kv: -kv[1])
+            self._entries = dict(keep[:self.capacity])
+
+    def forget(self, uri: Uri) -> None:
+        """Drop one endpoint (e.g. confirmed dead)."""
+        self._entries.pop(str(uri), None)
+
+    # -- queries -----------------------------------------------------------
+    def peers(self) -> list[Uri]:
+        """Cached URIs, most recently confirmed first."""
+        ordered = sorted(self._entries.items(), key=lambda kv: -kv[1])
+        out = []
+        for text, _stamp in ordered:
+            try:
+                out.append(Uri.parse(text))
+            except ValueError:  # pragma: no cover - defensive
+                continue
+        return out
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def snapshot(self) -> list[dict]:
+        """JSON-ready view (for the control socket's ``cache`` command)."""
+        return [{"uri": text, "last_seen": stamp}
+                for text, stamp in sorted(self._entries.items(),
+                                          key=lambda kv: -kv[1])]
+
+    # -- persistence -------------------------------------------------------
+    def load(self) -> list[Uri]:
+        """Read the store from disk (missing/corrupt file = empty cache)
+        and return the usable peers, freshest first."""
+        try:
+            with open(self.path, encoding="utf-8") as fh:
+                raw = json.load(fh)
+        except (OSError, ValueError):
+            return []
+        if not isinstance(raw, dict) or raw.get("version") != CACHE_VERSION:
+            return []
+        cutoff = (time.time() - self.max_age) if self.max_age > 0 else None
+        entries: dict[str, float] = {}
+        for item in raw.get("peers", []):
+            try:
+                text, stamp = item["uri"], float(item["last_seen"])
+                Uri.parse(text)  # validate before trusting
+            except (KeyError, TypeError, ValueError):
+                continue
+            if cutoff is not None and stamp < cutoff:
+                continue
+            entries[text] = stamp
+        self._entries = entries
+        self.loaded_from_disk = True
+        return self.peers()
+
+    def save(self) -> None:
+        """Atomically persist the store (tmp file + rename)."""
+        payload = {"version": CACHE_VERSION, "peers": self.snapshot()}
+        directory = os.path.dirname(self.path) or "."
+        os.makedirs(directory, exist_ok=True)
+        tmp = f"{self.path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, self.path)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<PeerCache {self.path} n={len(self._entries)}>"
+
+
+def merge_bootstrap_uris(seed_uris: Iterable[Uri],
+                         cached_uris: Iterable[Uri]) -> list[Uri]:
+    """The restart-time bootstrap list: cached peers first (they were
+    alive recently — the seeds may be long dead), then the configured
+    seeds, deduplicated preserving order."""
+    out: list[Uri] = []
+    seen: set[Uri] = set()
+    for uri in [*cached_uris, *seed_uris]:
+        if uri not in seen:
+            seen.add(uri)
+            out.append(uri)
+    return out

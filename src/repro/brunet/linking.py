@@ -151,6 +151,31 @@ class Linker:
         self._send_request(attempt)
         return attempt
 
+    def snapshot(self) -> list[dict]:
+        """JSON-ready view of every in-flight attempt — the control
+        socket's ``links`` command reports these beside the established
+        connections, so an operator can tell "repair in progress" from
+        "wedged" without attaching a debugger."""
+        now = self.node.sim.now
+        out = []
+        for attempt in self.by_token.values():
+            out.append({
+                "token": attempt.token,
+                "target": (attempt.target_addr.hex()
+                           if attempt.target_addr is not None else None),
+                "conn_type": attempt.conn_type.value,
+                "uri": (str(attempt.current_uri)
+                        if attempt.current_uri is not None else None),
+                "uri_index": attempt.uri_index,
+                "uris": len(attempt.uris),
+                "sends_on_uri": attempt.sends_on_uri,
+                "interval": attempt.interval,
+                "elapsed": now - attempt.started_at,
+                "race_aborts": attempt.race_aborts,
+            })
+        out.sort(key=lambda a: a["token"])
+        return out
+
     def cancel_all(self) -> None:
         """Abort every in-flight attempt (node shutdown)."""
         for attempt in list(self.by_token.values()):

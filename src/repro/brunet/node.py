@@ -145,8 +145,9 @@ class BrunetNode:
         self.bootstrap_uris = [u for u in bootstrap_uris
                                if u.endpoint != self.uris.local.endpoint]
         self.shortcut_overlord = ShortcutConnectionOverlord(self)
+        self.leaf_overlord = LeafConnectionOverlord(self)
         self.overlords = [
-            LeafConnectionOverlord(self),
+            self.leaf_overlord,
             NearConnectionOverlord(self),
             FarConnectionOverlord(self),
             self.shortcut_overlord,
@@ -156,9 +157,16 @@ class BrunetNode:
         self._schedule_ping()
         self.trace("node.start")
 
-    def stop(self) -> None:
+    def stop(self, notify: bool = False) -> None:
         """Kill the node: the migration recipe is stop + fresh start
-        ("killing and restarting the user-level IPOP program", §V-C)."""
+        ("killing and restarting the user-level IPOP program", §V-C).
+
+        ``notify=True`` is the graceful-drain variant a long-running
+        daemon uses on SIGTERM: every live peer gets a close message so
+        it drops its state immediately instead of waiting out the
+        keep-alive timeout (and then re-links around the gap at once).
+        Default off — close-notify changes sim trajectories.
+        """
         if not self.active:
             return
         self.active = False
@@ -171,10 +179,40 @@ class BrunetNode:
         if self.config.batch_timers:
             sweep_wheel(self.sim, self.config.sweep_granularity).cancel(
                 self._sweep_key)
+        if notify and self.transport is not None:
+            # active is already False, so bypass send_direct's gate — the
+            # transport itself is still open until the close below
+            for conn in self.table.all():
+                self.transport.send(conn.remote_endpoint,
+                                    CloseMessage(self.addr, "shutdown"),
+                                    size_hint=self.config.size_ping)
         if self.transport is not None:
             self.transport.close()
         self.table.clear()
         self.trace("node.stop")
+
+    def rebootstrap(self, uris: list[Uri]) -> int:
+        """Merge fresh bootstrap URIs (cached peers, operator-injected
+        seeds) into the rotation and, when the node is currently
+        stranded, kick the leaf overlord immediately instead of waiting
+        for its next tick.  Returns the number of new URIs adopted.
+
+        This is the runtime half of the cached-peer bootstrap design:
+        :meth:`start` seeds the initial URI list; ``rebootstrap`` lets a
+        daemon keep feeding the rotation as its peer cache evolves, so a
+        node that comes back after every configured seed died still has
+        live endpoints to try.
+        """
+        fresh = [u for u in uris
+                 if u.endpoint != self.uris.local.endpoint
+                 and u not in self.bootstrap_uris]
+        # freshest information first: the leaf overlord walks the list
+        # round-robin, so prepending biases the very next attempt
+        self.bootstrap_uris[:0] = fresh
+        if (fresh and self.active and not self.in_ring
+                and self.leaf_connection() is None):
+            self.sim.schedule(0.0, self.leaf_overlord.tick)
+        return len(fresh)
 
     # ------------------------------------------------------------------
     # address-space helpers

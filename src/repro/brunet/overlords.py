@@ -90,6 +90,10 @@ class LeafConnectionOverlord(Overlord):
     def tick(self) -> None:
         """Ensure a live leaf connection to some bootstrap seed."""
         node = self.node
+        if self._stopped or not node.active:
+            # rebootstrap() schedules a one-shot kick straight at tick();
+            # the kick may land after shutdown
+            return
         if node.leaf_connection() is not None or self._attempting:
             return
         seeds = node.bootstrap_uris

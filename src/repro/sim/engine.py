@@ -43,10 +43,15 @@ class Event:
 
     Instances are returned by :meth:`Simulator.schedule` and may be
     cancelled; cancellation is O(1) (the entry is tombstoned).
+
+    A handle is in exactly one of three states — pending, fired, or
+    cancelled — and protocol code may inspect it (``handle.pending``)
+    to decide whether a resend/maintenance timer is still armed.  The
+    realtime kernel's handle exposes the identical surface.
     """
 
     __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled",
-                 "_sim", "_in_heap")
+                 "fired", "_sim", "_in_heap")
 
     def __init__(self, time: float, priority: int, seq: int,
                  fn: Callable[..., Any], args: tuple):
@@ -56,12 +61,20 @@ class Event:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.fired = False
         self._sim: Optional["Simulator"] = None
         self._in_heap = False
 
+    @property
+    def pending(self) -> bool:
+        """True while the callback is still scheduled to run."""
+        return not self.cancelled and not self.fired
+
     def cancel(self) -> None:
-        """Prevent the event from firing.  Idempotent."""
-        if not self.cancelled:
+        """Prevent the event from firing.  Idempotent, and a no-op on an
+        already-fired event (late cleanup of a completed timer must not
+        re-decrement the kernel's live-event count)."""
+        if not self.cancelled and not self.fired:
             self.cancelled = True
             if self._sim is not None:
                 self._sim._note_cancel(self)
@@ -71,7 +84,8 @@ class Event:
             other.time, other.priority, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "cancelled" if self.cancelled else "pending"
+        state = ("cancelled" if self.cancelled
+                 else "fired" if self.fired else "pending")
         return f"<Event t={self.time:.6f} {getattr(self.fn, '__name__', self.fn)} {state}>"
 
 
@@ -247,6 +261,7 @@ class Simulator:
         self.now = ev.time
         self.events_processed += 1
         self._live -= 1
+        ev.fired = True
         self.executing = True
         prof = self.profiler
         if prof is None:

@@ -32,16 +32,30 @@ from repro.sim.trace import Tracer
 
 
 class _Handle:
-    """Duck-type of :class:`repro.sim.engine.Event` over ``call_later``."""
+    """Duck-type of :class:`repro.sim.engine.Event` over ``call_later``.
 
-    __slots__ = ("_timer", "cancelled")
+    Mirrors the sim handle's three states (pending / fired / cancelled):
+    protocol code that inspects a handle to decide whether a resend or
+    maintenance timer is still armed must read the same answer live as
+    in sim.  The kernel marks ``fired`` when the callback runs.
+    """
 
-    def __init__(self, timer: asyncio.TimerHandle):
-        self._timer = timer
+    __slots__ = ("_timer", "cancelled", "fired")
+
+    def __init__(self):
+        self._timer: Optional[asyncio.TimerHandle] = None
         self.cancelled = False
+        self.fired = False
+
+    @property
+    def pending(self) -> bool:
+        """True while the callback is still scheduled to run."""
+        return not self.cancelled and not self.fired
 
     def cancel(self) -> None:
-        if not self.cancelled:
+        """Idempotent; a no-op once the handle has fired (matching
+        :meth:`repro.sim.engine.Event.cancel`)."""
+        if not self.cancelled and not self.fired:
             self.cancelled = True
             self._timer.cancel()
 
@@ -76,8 +90,9 @@ class RealtimeKernel:
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any,
                  priority: int = 0) -> _Handle:
         """Run ``fn(*args)`` after ``delay`` wall-clock seconds."""
-        handle = _Handle(self.loop.call_later(
-            max(0.0, delay), self._fire, fn, args))
+        handle = _Handle()
+        handle._timer = self.loop.call_later(
+            max(0.0, delay), self._fire, handle, fn, args)
         return handle
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any,
@@ -85,7 +100,9 @@ class RealtimeKernel:
         """Run ``fn(*args)`` at absolute kernel time ``time``."""
         return self.schedule(time - self.now, fn, *args, priority=priority)
 
-    def _fire(self, fn: Callable[..., Any], args: tuple) -> None:
+    def _fire(self, handle: _Handle, fn: Callable[..., Any],
+              args: tuple) -> None:
+        handle.fired = True
         self.events_processed += 1
         self.executing = True
         prof = self.profiler
@@ -112,30 +129,23 @@ class RealtimeKernel:
                     prof.account(fn, perf_counter() - t0, self)
 
     # -- stats socket -----------------------------------------------------
-    async def serve_stats(self, host: str = "127.0.0.1",
-                          port: int = 0) -> tuple[str, int]:
-        """Expose a UDP stats socket: any datagram is answered with one
+    async def serve_stats(self, host: str = "127.0.0.1", port: int = 0,
+                          public: bool = False,
+                          max_bytes: int = 8192) -> tuple[str, int]:
+        """Expose a UDP stats socket: a datagram is answered with one
         JSON snapshot (see :func:`repro.obs.top.build_stats`) — the
         attach point for ``python -m repro.obs.top --connect ip:port``
         against a long-running daemon.  Returns the bound ``(ip, port)``.
+
+        By default only loopback sources are answered; pass
+        ``public=True`` to answer anyone (the snapshot leaks topology
+        detail, so this is opt-in).  Replies are capped at ``max_bytes``
+        — an unconditional multi-kB answer to a one-byte datagram is a
+        UDP amplification primitive.
         """
-        from repro.obs.top import build_stats
-        kernel = self
-
-        class _StatsProtocol(asyncio.DatagramProtocol):
-            def connection_made(self, transport) -> None:
-                self.transport = transport
-
-            def datagram_received(self, data: bytes, addr) -> None:
-                try:
-                    payload = json.dumps(
-                        build_stats(kernel), sort_keys=True).encode()
-                except Exception:  # pragma: no cover - stats must not kill
-                    payload = b"{}"
-                self.transport.sendto(payload, addr)
-
         transport, _ = await self.loop.create_datagram_endpoint(
-            _StatsProtocol, local_addr=(host, port))
+            lambda: _StatsProtocol(self, public=public, max_bytes=max_bytes),
+            local_addr=(host, port))
         self._stats_transport = transport
         sockname = transport.get_extra_info("sockname")
         return sockname[0], sockname[1]
@@ -158,3 +168,60 @@ class RealtimeKernel:
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<RealtimeKernel t={self.now:.3f}>"
+
+
+class _StatsProtocol(asyncio.DatagramProtocol):
+    """Datagram responder behind :meth:`RealtimeKernel.serve_stats`.
+
+    Hardened for the open internet even though it defaults to loopback:
+    ``transport`` is initialized eagerly (a datagram racing
+    ``connection_made`` is dropped, not an AttributeError), non-loopback
+    sources are ignored unless ``public``, and the reply is capped at
+    ``max_bytes`` by progressively shedding snapshot detail.
+    """
+
+    def __init__(self, kernel: "RealtimeKernel", public: bool = False,
+                 max_bytes: int = 8192):
+        self.kernel = kernel
+        self.public = public
+        self.max_bytes = max_bytes
+        self.transport: Optional[asyncio.DatagramTransport] = None
+
+    def connection_made(self, transport) -> None:
+        self.transport = transport
+
+    def connection_lost(self, exc) -> None:  # pragma: no cover - teardown
+        self.transport = None
+
+    @staticmethod
+    def _is_loopback(ip: str) -> bool:
+        return ip.startswith("127.") or ip in ("::1", "localhost")
+
+    def _snapshot(self) -> bytes:
+        from repro.obs.top import build_stats
+        try:
+            payload = json.dumps(build_stats(self.kernel),
+                                 sort_keys=True).encode()
+            if len(payload) <= self.max_bytes:
+                return payload
+            # shed detail until the reply fits: first the per-node /
+            # sector / profiler tables, then everything but the header
+            slim = build_stats(self.kernel, top_nodes=0)
+            slim.pop("sectors", None)
+            slim.pop("profile", None)
+            payload = json.dumps(slim, sort_keys=True).encode()
+            if len(payload) <= self.max_bytes:
+                return payload
+            minimal = {"t": self.kernel.now,
+                       "events": self.kernel.events_processed,
+                       "sums": {}, "nodes": [], "truncated": True}
+            return json.dumps(minimal, sort_keys=True).encode()
+        except Exception:  # pragma: no cover - stats must not kill
+            return b"{}"
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        if self.transport is None:
+            return
+        if not self.public and not self._is_loopback(addr[0]):
+            return
+        self.transport.sendto(self._snapshot()[:self.max_bytes], addr)

@@ -32,8 +32,12 @@ class _Protocol(asyncio.DatagramProtocol):
     def datagram_received(self, data: bytes, addr) -> None:
         self.owner._on_datagram(data, addr)
 
-    def error_received(self, exc: Exception) -> None:  # pragma: no cover
-        self.owner._m_decode_err.inc()
+    def error_received(self, exc: Exception) -> None:
+        # OS-level socket errors (e.g. ICMP port-unreachable from a peer
+        # process that just died — constant background noise in a swarm
+        # under churn) are not codec failures: keep them out of
+        # wire.decode_error, which the inspector reads as codec health
+        self.owner._m_socket_err.inc()
 
 
 class UdpTransport(Transport):
@@ -47,6 +51,7 @@ class UdpTransport(Transport):
         self._endpoint: Optional[Endpoint] = None
         metrics = kernel.obs.metrics
         self._m_decode_err = metrics.counter("wire.decode_error", node=name)
+        self._m_socket_err = metrics.counter("wire.socket_error", node=name)
         self._m_tx_bytes = metrics.counter("wire.tx_bytes", node=name)
         self._m_rx_bytes = metrics.counter("wire.rx_bytes", node=name)
         self._m_opaque = metrics.counter("wire.opaque_frames", node=name)

@@ -1,0 +1,115 @@
+"""Cached-peer store: the decentralized-bootstrap state machine."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.brunet.bootstrap import (CACHE_VERSION, PeerCache,
+                                    merge_bootstrap_uris)
+from repro.brunet.node import BrunetNode
+from repro.brunet.uri import Uri
+from repro.ipop.mapping import addr_for_ip
+from repro.phys.topology import Site
+
+
+def u(port: int) -> Uri:
+    return Uri.udp("127.0.0.1", port)
+
+
+def test_roundtrip_preserves_recency_order(tmp_path):
+    import time
+    t0 = time.time()  # explicit stamps must be recent or load() ages them out
+    path = str(tmp_path / "peers.json")
+    cache = PeerCache(path)
+    cache.record([u(1000)], now=t0 - 30.0)
+    cache.record([u(2000), u(3000)], now=t0 - 20.0)
+    cache.record([u(1000)], now=t0)  # re-confirmed: back to the front
+    cache.save()
+
+    reloaded = PeerCache(path)
+    assert reloaded.load() == [u(1000), u(2000), u(3000)]
+    assert reloaded.loaded_from_disk
+    assert len(reloaded) == 3
+
+
+def test_capacity_evicts_least_recently_confirmed(tmp_path):
+    cache = PeerCache(str(tmp_path / "p.json"), capacity=3)
+    for i, port in enumerate([1, 2, 3, 4, 5]):
+        cache.record([u(1000 + port)], now=float(i))
+    assert cache.peers() == [u(1005), u(1004), u(1003)]
+
+
+def test_load_tolerates_missing_corrupt_and_stale(tmp_path):
+    missing = PeerCache(str(tmp_path / "nope.json"))
+    assert missing.load() == []
+    assert not missing.loaded_from_disk
+
+    corrupt = tmp_path / "corrupt.json"
+    corrupt.write_text("{not json", encoding="utf-8")
+    assert PeerCache(str(corrupt)).load() == []
+
+    wrong_version = tmp_path / "old.json"
+    wrong_version.write_text(
+        json.dumps({"version": CACHE_VERSION + 1, "peers": []}),
+        encoding="utf-8")
+    assert PeerCache(str(wrong_version)).load() == []
+
+    # stale entries age out, bad entries are skipped, good ones survive
+    import time
+    mixed = tmp_path / "mixed.json"
+    mixed.write_text(json.dumps({
+        "version": CACHE_VERSION,
+        "peers": [
+            {"uri": str(u(1500)), "last_seen": time.time()},
+            {"uri": str(u(1501)), "last_seen": 1.0},        # 1970: stale
+            {"uri": "not-a-uri", "last_seen": time.time()},  # unparsable
+            {"last_seen": time.time()},                      # no uri
+        ]}), encoding="utf-8")
+    assert PeerCache(str(mixed)).load() == [u(1500)]
+
+
+def test_save_is_atomic_and_creates_directory(tmp_path):
+    path = str(tmp_path / "deep" / "peers.json")
+    cache = PeerCache(path)
+    cache.record([u(1700)])
+    cache.save()
+    assert PeerCache(path).load() == [u(1700)]
+    # no temp files left behind
+    assert os.listdir(tmp_path / "deep") == ["peers.json"]
+
+
+def test_empty_cache_is_falsy_but_load_still_runs(tmp_path):
+    """Regression: PeerCache defines __len__, so a not-yet-loaded cache
+    is falsy — callers gating load() on truthiness silently skip the
+    disk read and strand a restarted node on its dead seeds."""
+    path = str(tmp_path / "peers.json")
+    seeded = PeerCache(path)
+    seeded.record([u(1600)])
+    seeded.save()
+
+    cache = PeerCache(path)
+    assert not cache          # empty until load() — that's the trap
+    assert cache is not None  # the correct gate
+    assert cache.load() == [u(1600)]
+    assert cache               # now truthy
+
+
+def test_merge_puts_cached_peers_before_seeds():
+    seeds = [u(1), u(2)]
+    cached = [u(9), u(2), u(8)]
+    assert merge_bootstrap_uris(seeds, cached) == [u(9), u(2), u(8), u(1)]
+
+
+def test_rebootstrap_adopts_fresh_uris_and_filters_self(sim, internet):
+    host = Site(internet, "solo").add_host("h0")
+    node = BrunetNode(sim, host, addr_for_ip("10.128.0.2"))
+    node.start([Uri.udp("10.0.0.9", 4000)])
+    own = node.uris.local
+    adopted = node.rebootstrap([own,                     # self: dropped
+                                Uri.udp("10.0.0.9", 4000),  # dup: dropped
+                                Uri.udp("10.0.0.7", 4000)])
+    assert adopted == 1
+    # freshest first: the new URI leads the rotation
+    assert node.bootstrap_uris[0] == Uri.udp("10.0.0.7", 4000)
+    node.stop()

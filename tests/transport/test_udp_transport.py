@@ -58,6 +58,30 @@ def test_udp_transport_drops_garbage_with_counted_metric():
     assert errs == 1
 
 
+def test_socket_errors_do_not_pollute_codec_health():
+    """Regression: an OS-level socket error (ICMP port-unreachable — a
+    churning swarm generates these constantly) was counted into
+    ``wire.decode_error``, corrupting the codec-health metric.  It must
+    land in its own ``wire.socket_error`` counter."""
+    from repro.transport.udp import _Protocol
+
+    async def scenario():
+        kernel = RealtimeKernel(seed=0)
+        t = await UdpTransport.create(kernel, "127.0.0.1", 0, name="t")
+        proto = _Protocol(t)
+        proto.error_received(OSError(111, "Connection refused"))
+        proto.error_received(OSError(111, "Connection refused"))
+        metrics = kernel.obs.metrics
+        decode = metrics.counter("wire.decode_error", node="t").value
+        sock = metrics.counter("wire.socket_error", node="t").value
+        t.close()
+        return decode, sock
+
+    decode, sock = asyncio.run(scenario())
+    assert decode == 0
+    assert sock == 2
+
+
 def test_realtime_kernel_schedule_and_cancel():
     async def scenario():
         kernel = RealtimeKernel(seed=0)
